@@ -1,0 +1,82 @@
+"""Ablation: boundary-cover strategy (BRP segment-test walk vs. ray sweep).
+
+DESIGN.md calls out two ways of covering a zone boundary with grid cells:
+
+* the paper's Boundary Reconstruction Process driven by the Sturm segment
+  test on grid edges, and
+* an angular ray sweep exploiting the star-shape property (Lemma 3.1).
+
+Both produce a valid uncertainty band (correctness is asserted), so the
+interesting comparison is cost: segment tests vs. membership probes, number
+of suspect cells, and wall-clock build time.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Point
+from repro.pointlocation import PointLocationStructure, VoronoiCandidateLocator, ZoneLabel
+from repro.workloads import uniform_random_network
+
+EPSILON = 0.35
+
+
+@pytest.fixture(scope="module")
+def network():
+    return uniform_random_network(
+        5, side=12.0, minimum_separation=2.5, noise=0.005, beta=3.0, seed=9
+    )
+
+
+def check_soundness(network, structure, samples=600):
+    exact = VoronoiCandidateLocator(network)
+    rng = random.Random(17)
+    for _ in range(samples):
+        point = Point(rng.uniform(-3, 15), rng.uniform(-3, 15))
+        answer = structure.locate(point)
+        truth = exact.locate(point)
+        if answer.label is ZoneLabel.INSIDE:
+            assert truth == answer.station
+        elif answer.label is ZoneLabel.OUTSIDE:
+            assert truth is None
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("cover_method", ["brp", "ray_sweep"])
+def test_boundary_cover_ablation(benchmark, network, cover_method):
+    structure = benchmark.pedantic(
+        lambda: PointLocationStructure(
+            network, epsilon=EPSILON, cover_method=cover_method
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    check_soundness(network, structure)
+    benchmark.extra_info["cover_method"] = cover_method
+    benchmark.extra_info["stored_cells"] = structure.size_estimate()
+    benchmark.extra_info["segment_tests"] = structure.report.total_segment_tests
+    benchmark.extra_info["boundary_probes"] = sum(
+        report.boundary_probes for report in structure.report.per_zone.values()
+    )
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("bounds_method", ["explicit", "improved", "measured"])
+def test_radius_bounds_ablation(benchmark, network, bounds_method):
+    """Looser certified radius bounds inflate the grid (and the build cost)."""
+    structure = benchmark.pedantic(
+        lambda: PointLocationStructure(
+            network,
+            epsilon=0.5,
+            bounds_method=bounds_method,
+            cover_method="ray_sweep",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    check_soundness(network, structure, samples=300)
+    benchmark.extra_info["bounds_method"] = bounds_method
+    benchmark.extra_info["stored_cells"] = structure.size_estimate()

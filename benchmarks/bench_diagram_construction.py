@@ -1,0 +1,74 @@
+"""Supporting benchmark: constructing SINR diagrams and their ingredients.
+
+Not a single figure of the paper, but the machinery every figure rests on:
+rasterising a diagram (the "numerically generated" figures), tracing a zone
+boundary, evaluating the reception polynomial, and restricting it to a
+segment.  These series document how the substrate scales with the number of
+stations, which contextualises the preprocessing costs reported for Theorem 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Point, SINRDiagram
+from repro.diagrams import trace_zone_boundary
+from repro.workloads import uniform_random_network
+
+
+def build_network(station_count: int):
+    return uniform_random_network(
+        station_count,
+        side=4.0 * station_count ** 0.5,
+        minimum_separation=2.0,
+        noise=0.002,
+        beta=3.0,
+        seed=station_count,
+    )
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("station_count", [4, 8, 16, 32])
+def test_rasterize_diagram(benchmark, station_count):
+    network = build_network(station_count)
+    diagram = SINRDiagram(network)
+    lower_left, upper_right = diagram.default_bounding_box(margin=0.5)
+
+    raster = benchmark(diagram.rasterize, lower_left, upper_right, 150)
+    benchmark.extra_info["stations"] = station_count
+    benchmark.extra_info["coverage_fraction"] = round(raster.coverage_fraction(), 4)
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("station_count", [4, 16])
+def test_trace_zone_boundary(benchmark, station_count):
+    network = build_network(station_count)
+    zone = SINRDiagram(network).zone(0)
+
+    points = benchmark(trace_zone_boundary, zone, 180)
+    benchmark.extra_info["stations"] = station_count
+    benchmark.extra_info["vertices"] = len(points) - 1
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("station_count", [4, 16, 64])
+def test_reception_polynomial_evaluation(benchmark, station_count):
+    network = build_network(station_count)
+    polynomial = network.reception_polynomial(0)
+
+    benchmark(polynomial, 1.234, -0.567)
+    benchmark.extra_info["stations"] = station_count
+    benchmark.extra_info["degree"] = polynomial.degree()
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("station_count", [4, 16])
+def test_reception_polynomial_segment_restriction(benchmark, station_count):
+    network = build_network(station_count)
+    polynomial = network.reception_polynomial(0)
+
+    restriction = benchmark(
+        polynomial.restrict_to_segment, Point(-1.0, -1.0), Point(2.0, 3.0)
+    )
+    benchmark.extra_info["stations"] = station_count
+    benchmark.extra_info["restriction_degree"] = restriction.degree()

@@ -1,0 +1,42 @@
+"""Figure 1: reception flips as stations move or fall silent.
+
+Regenerates the three panels of Figure 1 and reports, for each panel, which
+station the receiver hears.  The paper's series is qualitative:
+
+    panel (A): the receiver hears s2
+    panel (B): after s1 moves, the receiver hears nothing
+    panel (C): with s3 silent, the receiver hears s1
+
+The benchmark times the full panel evaluation (diagram construction +
+receiver query + raster of the reception map at the figure's resolution).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SINRDiagram
+from repro.diagrams import figure1_panels
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("panel_index", [0, 1, 2], ids=["panel_A", "panel_B", "panel_C"])
+def test_figure1_panel(benchmark, panel_index):
+    panel = figure1_panels()[panel_index]
+
+    def evaluate():
+        diagram = SINRDiagram(panel.network)
+        heard = diagram.station_heard_at(panel.receiver)
+        raster = diagram.rasterize(*panel.bounding_box, resolution=120)
+        return heard, raster.coverage_fraction()
+
+    heard, coverage = benchmark(evaluate)
+
+    # The paper's qualitative outcome must reproduce exactly.
+    assert heard == panel.expected_sinr
+    benchmark.extra_info["panel"] = panel.name
+    benchmark.extra_info["station_heard"] = "none" if heard is None else f"s{heard + 1}"
+    benchmark.extra_info["expected"] = (
+        "none" if panel.expected_sinr is None else f"s{panel.expected_sinr + 1}"
+    )
+    benchmark.extra_info["coverage_fraction"] = round(coverage, 4)

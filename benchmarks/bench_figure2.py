@@ -1,0 +1,76 @@
+"""Figure 2: cumulative interference — the UDG false positive.
+
+The paper's claim: the receiver lies within the range of ``s1`` only, so the
+UDG (protocol) model predicts successful reception, but the *cumulative*
+interference of ``s2, s3, s4`` (each individually out of range) pushes the
+SINR below the threshold.  The benchmark regenerates both halves of the figure
+and additionally measures, over the whole plot region, how much of the plane
+is affected by this kind of false positive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Point, SINRDiagram
+from repro.diagrams import figure2_scenario
+from repro.graphs import ModelComparator, ReceptionOutcome
+
+
+@pytest.mark.paper
+def test_figure2_false_positive_at_the_receiver(benchmark):
+    panel = figure2_scenario()
+
+    def evaluate():
+        comparator = ModelComparator(panel.network, udg_radius=panel.udg_radius)
+        return (
+            comparator.heard_station_udg(panel.receiver),
+            comparator.heard_station_sinr(panel.receiver),
+            comparator.compare_at(panel.receiver, 0).outcome,
+        )
+
+    udg_heard, sinr_heard, outcome = benchmark(evaluate)
+
+    # Paper's series: UDG says "hears s1", SINR says "hears nothing".
+    assert udg_heard == 0
+    assert sinr_heard is None
+    assert outcome is ReceptionOutcome.FALSE_POSITIVE
+    benchmark.extra_info["udg"] = "s1"
+    benchmark.extra_info["sinr"] = "none"
+    benchmark.extra_info["outcome"] = outcome.value
+
+
+@pytest.mark.paper
+def test_figure2_false_positive_area(benchmark):
+    panel = figure2_scenario()
+    comparator = ModelComparator(panel.network, udg_radius=panel.udg_radius)
+
+    summary = benchmark(
+        comparator.summarize_grid,
+        Point(-10.0, -10.0),
+        Point(10.0, 10.0),
+        0,
+        60,
+    )
+
+    # A non-trivial fraction of s1's UDG disk is a false positive.
+    assert summary.counts[ReceptionOutcome.FALSE_POSITIVE] > 0
+    benchmark.extra_info["false_positive_fraction"] = round(
+        summary.fraction(ReceptionOutcome.FALSE_POSITIVE), 4
+    )
+    benchmark.extra_info["disagreement_fraction"] = round(
+        summary.disagreement_fraction, 4
+    )
+
+
+@pytest.mark.paper
+def test_figure2_sinr_diagram_raster(benchmark, ):
+    panel = figure2_scenario()
+    diagram = SINRDiagram(panel.network)
+
+    raster = benchmark(
+        diagram.rasterize, Point(-10, -10), Point(10, 10), 200
+    )
+    # In the SINR panel the receiver's pixel is in the null zone.
+    assert raster.label_at(panel.receiver) == -1
+    benchmark.extra_info["coverage_fraction"] = round(raster.coverage_fraction(), 4)

@@ -1,0 +1,75 @@
+"""Figure 5: reception zones are non-convex when beta < 1.
+
+The paper exhibits a uniform power network with alpha = 2, beta = 0.3 and
+N = 0.05 whose reception zones are "clearly non-convex".  The benchmark
+regenerates the diagram, runs the empirical convexity falsifier on every zone
+and checks that (a) at least one zone is flagged non-convex in the beta < 1
+regime and (b) raising beta above 1 on the *same* station layout restores
+convexity — i.e. the Theorem 1 threshold is where the paper says it is.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Point, SINRDiagram
+from repro.analysis import verify_zone_convexity
+from repro.diagrams import figure5_network
+
+
+@pytest.mark.paper
+def test_figure5_non_convexity_below_beta_one(benchmark):
+    network = figure5_network()
+    diagram = SINRDiagram(network)
+
+    def evaluate():
+        return [
+            verify_zone_convexity(
+                diagram.zone(index), sample_points=100, max_pairs=800, seed=3
+            )
+            for index in range(len(network))
+        ]
+
+    reports = benchmark(evaluate)
+    assert any(not report.is_convex for report in reports)
+    benchmark.extra_info["beta"] = network.beta
+    benchmark.extra_info["non_convex_zones"] = sum(
+        1 for report in reports if not report.is_convex
+    )
+
+
+@pytest.mark.paper
+def test_figure5_convexity_restored_above_beta_one(benchmark):
+    network = figure5_network().with_beta(1.5)
+    diagram = SINRDiagram(network)
+
+    def evaluate():
+        return [
+            verify_zone_convexity(
+                diagram.zone(index), sample_points=80, max_pairs=500, seed=3
+            )
+            for index in range(len(network))
+        ]
+
+    reports = benchmark(evaluate)
+    assert all(report.is_convex for report in reports)
+    benchmark.extra_info["beta"] = network.beta
+    benchmark.extra_info["non_convex_zones"] = 0
+
+
+@pytest.mark.paper
+def test_figure5_overlapping_reception(benchmark):
+    """With beta < 1 several stations can be heard at the same point."""
+    network = figure5_network()
+    diagram = SINRDiagram(network)
+
+    def overlap_fraction():
+        raster = diagram.rasterize(Point(-5, -5), Point(5, 5), resolution=120)
+        import numpy as np
+
+        received = raster.sinr_values >= network.beta
+        return float((received.sum(axis=0) > 1).mean())
+
+    fraction = benchmark(overlap_fraction)
+    assert fraction > 0.0
+    benchmark.extra_info["overlap_fraction"] = round(fraction, 4)

@@ -1,0 +1,53 @@
+"""Figures 3-4: reception as transmitters are added one at a time.
+
+The paper's series, with stations s1..s4 added in order and a fixed receiver:
+
+    step 1 (s1 only)       : UDG hears s1,     SINR hears s1   (models agree)
+    step 2 (s1, s2)        : UDG hears nothing, SINR hears s1  (false negative)
+    step 3 (s1, s2, s3)    : UDG hears nothing, SINR hears s3  (false negative)
+    step 4 (s1, s2, s3, s4): the outcome changes again across the models
+
+The benchmark regenerates each step's decision pair and times the evaluation
+of both models on the step's diagram.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagrams import figure3_4_steps
+from repro.graphs import UnitDiskGraph
+
+
+EXPECTED_SERIES = {
+    1: ("s1", "s1"),
+    2: ("none", "s1"),
+    3: ("none", "s3"),
+    4: ("none", "none"),
+}
+
+
+def _label(index):
+    return "none" if index is None else f"s{index + 1}"
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("step", [1, 2, 3, 4])
+def test_figure3_4_step(benchmark, step):
+    panel = figure3_4_steps()[step - 1]
+
+    def evaluate():
+        udg = UnitDiskGraph.from_network(panel.network, radius=panel.udg_radius)
+        transmitters = range(min(step, len(panel.network)))
+        udg_heard = udg.station_heard_at(panel.receiver, transmitters=transmitters)
+        sinr_heard = panel.sinr_outcome()
+        return udg_heard, sinr_heard
+
+    udg_heard, sinr_heard = benchmark(evaluate)
+
+    expected_udg, expected_sinr = EXPECTED_SERIES[step]
+    assert _label(udg_heard) == expected_udg
+    assert _label(sinr_heard) == expected_sinr
+    benchmark.extra_info["step"] = step
+    benchmark.extra_info["udg_hears"] = _label(udg_heard)
+    benchmark.extra_info["sinr_hears"] = _label(sinr_heard)

@@ -1,0 +1,83 @@
+"""Theorem 1 (and Lemmas 2.1, 3.1): convexity of reception zones.
+
+The paper proves that in uniform power networks with alpha = 2 and beta >= 1
+every reception zone is convex; Lemma 3.1 gives star shape and Lemma 2.1
+characterises convexity through line crossings.  The benchmark sweeps the
+scenario catalogue, verifies all three properties on every zone, and times
+how expensive the verification machinery is (which is the practical cost of
+*using* the structural results, e.g. inside a protocol simulator).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SINRDiagram
+from repro.analysis import (
+    verify_lemma_2_1,
+    verify_zone_convexity,
+    verify_zone_star_shape,
+)
+from repro.workloads import theorem_verification_networks
+
+NETWORKS = dict(theorem_verification_networks())
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("name", sorted(NETWORKS))
+def test_theorem1_convexity(benchmark, name):
+    network = NETWORKS[name]
+    diagram = SINRDiagram(network)
+
+    def verify():
+        reports = [
+            verify_zone_convexity(
+                diagram.zone(index), sample_points=40, max_pairs=200, seed=1
+            )
+            for index in range(len(network))
+        ]
+        return reports
+
+    reports = benchmark(verify)
+    assert all(report.is_convex for report in reports)
+    benchmark.extra_info["scenario"] = name
+    benchmark.extra_info["stations"] = len(network)
+    benchmark.extra_info["beta"] = network.beta
+    benchmark.extra_info["all_convex"] = True
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("name", ["small-random", "ring", "colinear"])
+def test_lemma31_star_shape(benchmark, name):
+    network = NETWORKS[name]
+    diagram = SINRDiagram(network)
+
+    def verify():
+        return [
+            verify_zone_star_shape(diagram.zone(index), rays=24, samples_per_ray=24)
+            for index in range(len(network))
+        ]
+
+    reports = benchmark(verify)
+    assert all(report.is_star_shaped for report in reports)
+    benchmark.extra_info["scenario"] = name
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("name", ["small-random", "grid"])
+def test_lemma21_line_crossings(benchmark, name):
+    network = NETWORKS[name]
+    diagram = SINRDiagram(network)
+
+    def verify():
+        return [
+            verify_lemma_2_1(diagram.zone(index), lines=20)
+            for index in range(len(network))
+        ]
+
+    reports = benchmark(verify)
+    assert all(report.holds for report in reports)
+    benchmark.extra_info["scenario"] = name
+    benchmark.extra_info["max_crossings_seen"] = max(
+        report.max_crossings for report in reports
+    )

@@ -1,0 +1,98 @@
+"""Theorems 2, 4.1 and 4.2: fatness of reception zones.
+
+The paper's claims, regenerated here:
+
+* Theorem 4.1 — explicit bounds give ``phi = O(sqrt(n))``; the benchmark
+  sweeps colinear worst-case networks of growing size and reports both the
+  explicit-bound ratio (which grows like sqrt(n)) and the measured fatness
+  (which does not).
+* Theorem 4.2 / Theorem 2 — the measured fatness never exceeds the constant
+  ``(sqrt(beta)+1)/(sqrt(beta)-1)``; the two-station network attains it
+  exactly (Lemma 4.3 with equal powers).
+* Figure 7 — the delta / Delta measurement itself.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import SINRDiagram
+from repro.analysis import verify_zone_fatness
+from repro.diagrams import figure7_network
+from repro.geometry import theoretical_fatness_bound
+from repro.pointlocation import explicit_radius_bounds
+from repro.workloads import colinear_network, theorem_verification_networks
+
+NETWORKS = dict(theorem_verification_networks())
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("name", sorted(NETWORKS))
+def test_theorem2_fatness_bound(benchmark, name):
+    network = NETWORKS[name]
+    diagram = SINRDiagram(network)
+
+    def measure():
+        return [
+            verify_zone_fatness(diagram.zone(index), angles=90)
+            for index in range(len(network))
+            if not diagram.zone(index).is_degenerate
+        ]
+
+    results = benchmark(measure)
+    assert all(result.satisfies_bound for result in results)
+    benchmark.extra_info["scenario"] = name
+    benchmark.extra_info["beta"] = network.beta
+    benchmark.extra_info["max_fatness"] = round(max(r.fatness for r in results), 3)
+    benchmark.extra_info["bound"] = round(results[0].bound, 3)
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("station_count", [2, 4, 8, 16])
+def test_theorem41_explicit_bounds_grow_with_n(benchmark, station_count):
+    network = colinear_network(station_count, spacing=2.0, beta=2.0)
+
+    def measure():
+        explicit = explicit_radius_bounds(network, 0)
+        measured = verify_zone_fatness(SINRDiagram(network).zone(0), angles=120)
+        return explicit, measured
+
+    explicit, measured = benchmark(measure)
+
+    bound = theoretical_fatness_bound(2.0)
+    # Theorem 4.1's certified ratio grows roughly like sqrt(beta * (n-1)).
+    expected_explicit = (math.sqrt(2.0 * (station_count - 1)) + 1) / (math.sqrt(2.0) - 1)
+    assert explicit.ratio == pytest.approx(expected_explicit, rel=1e-6)
+    # The actual fatness stays below the Theorem 4.2 constant.
+    assert measured.fatness <= bound * (1 + 1e-6)
+    benchmark.extra_info["stations"] = station_count
+    benchmark.extra_info["explicit_ratio_O_sqrt_n"] = round(explicit.ratio, 3)
+    benchmark.extra_info["measured_fatness"] = round(measured.fatness, 3)
+    benchmark.extra_info["theorem42_bound"] = round(bound, 3)
+
+
+@pytest.mark.paper
+def test_lemma43_two_stations_attain_the_bound(benchmark):
+    network = colinear_network(2, spacing=4.0, beta=2.0)
+
+    result = benchmark(
+        verify_zone_fatness, SINRDiagram(network).zone(0), 360
+    )
+    assert result.fatness == pytest.approx(result.bound, rel=1e-3)
+    benchmark.extra_info["measured"] = round(result.fatness, 4)
+    benchmark.extra_info["bound"] = round(result.bound, 4)
+
+
+@pytest.mark.paper
+def test_figure7_fatness_measurement(benchmark):
+    network = figure7_network()
+    zone = SINRDiagram(network).zone(0)
+
+    result = benchmark(verify_zone_fatness, zone, 180)
+    assert result.delta < result.Delta
+    assert result.satisfies_bound
+    benchmark.extra_info["delta"] = round(result.delta, 4)
+    benchmark.extra_info["Delta"] = round(result.Delta, 4)
+    benchmark.extra_info["fatness"] = round(result.fatness, 4)

@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or theorem-level
+claims.  Heavy objects (networks, diagrams, point-location structures) are
+built once per module through session-scoped fixtures so that
+``pytest benchmarks/ --benchmark-only`` stays laptop-friendly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SINRDiagram, WirelessNetwork
+from repro.workloads import uniform_random_network
+
+
+def pytest_configure(config):
+    # Benchmarks live outside the default testpaths; ensure a sane default
+    # so that plain `pytest benchmarks/` also works without --benchmark-only.
+    config.addinivalue_line("markers", "paper: marks a paper-reproduction benchmark")
+
+
+@pytest.fixture(scope="session")
+def medium_network() -> WirelessNetwork:
+    """An 8-station random deployment used by several benchmarks."""
+    return uniform_random_network(
+        8, side=16.0, minimum_separation=2.5, noise=0.005, beta=3.0, seed=4
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_diagram(medium_network) -> SINRDiagram:
+    return SINRDiagram(medium_network)

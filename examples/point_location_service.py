@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""A point-location "service": Theorem 3 in action.
+
+A base-station planner wants to answer, for millions of candidate handset
+positions, "which access point (if any) will this position hear?"  The naive
+answer costs O(n) per query; the paper's data structure answers in O(log n)
+after a one-off preprocessing pass, at the price of an uncertainty band of
+controllable area (the parameter epsilon).
+
+This example builds the structure for a mid-sized random deployment, compares
+its answers and throughput against the exact baselines, and shows how the
+uncertainty band shrinks as epsilon decreases.
+
+Run with:  python examples/point_location_service.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Point
+from repro.pointlocation import (
+    BruteForceLocator,
+    PointLocationStructure,
+    VoronoiCandidateLocator,
+    ZoneLabel,
+)
+from repro.workloads import random_query_points, uniform_random_network
+
+
+def main() -> None:
+    network = uniform_random_network(
+        8, side=16.0, minimum_separation=2.5, noise=0.005, beta=3.0, seed=4
+    )
+    print(network.describe())
+
+    queries = random_query_points(
+        4000, Point(-4.0, -4.0), Point(20.0, 20.0), seed=99
+    )
+
+    # ------------------------------------------------------------------
+    # Exact baselines.
+    # ------------------------------------------------------------------
+    brute = BruteForceLocator(network)
+    voronoi = VoronoiCandidateLocator(network)
+
+    start = time.perf_counter()
+    exact_answers = [voronoi.locate(query) for query in queries]
+    voronoi_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for query in queries[:500]:
+        brute.locate(query)
+    brute_seconds = (time.perf_counter() - start) * (len(queries) / 500)
+
+    # ------------------------------------------------------------------
+    # The approximate structure, for a sweep of epsilon values.
+    # ------------------------------------------------------------------
+    print(f"\n{'epsilon':>8} {'build s':>9} {'cells':>8} {'query us':>9} "
+          f"{'uncertain %':>12} {'wrong':>6}")
+    for epsilon in (0.5, 0.3, 0.15):
+        start = time.perf_counter()
+        structure = PointLocationStructure(network, epsilon=epsilon)
+        build_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        answers = structure.locate_many(queries)
+        query_seconds = time.perf_counter() - start
+
+        uncertain = sum(1 for a in answers if a.label is ZoneLabel.UNCERTAIN)
+        wrong = 0
+        for answer, exact in zip(answers, exact_answers):
+            if answer.label is ZoneLabel.INSIDE and exact != answer.station:
+                wrong += 1
+            if answer.label is ZoneLabel.OUTSIDE and exact is not None:
+                wrong += 1
+        print(
+            f"{epsilon:>8.2f} {build_seconds:>9.2f} {structure.size_estimate():>8d} "
+            f"{query_seconds / len(queries) * 1e6:>9.2f} "
+            f"{uncertain / len(queries) * 100.0:>11.2f}% {wrong:>6d}"
+        )
+
+    # ------------------------------------------------------------------
+    # Throughput comparison.
+    # ------------------------------------------------------------------
+    print("\nper-query time of the exact baselines:")
+    print(f"  Voronoi-candidate (O(n)) : {voronoi_seconds / len(queries) * 1e6:8.2f} us")
+    print(f"  brute force (O(n^2))     : {brute_seconds / len(queries) * 1e6:8.2f} us")
+    print(
+        "\nthe certified answers (inside/outside) of the grid structure are "
+        "always consistent with the exact locator; only the thin uncertainty "
+        "band is left undecided, and it shrinks linearly with epsilon."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: build an SINR diagram, inspect reception zones, locate points.
+
+This example walks through the library's core objects:
+
+1. build a uniform power network (the setting of the paper's theorems),
+2. ask reception questions at individual points,
+3. rasterise the SINR diagram and render it as ASCII art,
+4. verify the structural properties the paper proves (convexity, fatness),
+5. build the approximate point-location structure of Theorem 3 and query it.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Point, SINRDiagram, WirelessNetwork
+from repro.analysis import verify_zone_convexity, verify_zone_fatness
+from repro.diagrams import to_ascii
+from repro.pointlocation import PointLocationStructure, VoronoiCandidateLocator
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A uniform power network: all stations transmit with power 1.
+    #    beta is the reception threshold, noise the background noise N.
+    # ------------------------------------------------------------------
+    network = WirelessNetwork.uniform(
+        [(0.0, 0.0), (6.0, 0.0), (3.0, 5.0), (-4.0, 4.0)],
+        noise=0.01,
+        beta=2.5,
+    )
+    print(network.describe())
+
+    # ------------------------------------------------------------------
+    # 2. Point-wise reception questions.
+    # ------------------------------------------------------------------
+    diagram = SINRDiagram(network)
+    for probe in [Point(1.0, 0.5), Point(3.0, 2.5), Point(10.0, 10.0)]:
+        heard = diagram.station_heard_at(probe)
+        sinr_values = [round(network.sinr(i, probe), 3) for i in range(len(network))]
+        label = f"s{heard}" if heard is not None else "nothing"
+        print(f"at {probe.as_tuple()}: hears {label}; per-station SINR {sinr_values}")
+
+    # ------------------------------------------------------------------
+    # 3. The SINR diagram as a reception map (ASCII rendering).
+    # ------------------------------------------------------------------
+    lower_left, upper_right = diagram.default_bounding_box(margin=0.8)
+    raster = diagram.rasterize(lower_left, upper_right, resolution=140)
+    print("\nSINR diagram (digits = station zones, '.' = no reception):")
+    print(to_ascii(raster, station_locations=network.locations(), max_width=90))
+
+    # ------------------------------------------------------------------
+    # 4. The structural properties of the zones (Theorems 1 and 2).
+    # ------------------------------------------------------------------
+    print("\nper-zone structure:")
+    for index in range(len(network)):
+        zone = diagram.zone(index)
+        convexity = verify_zone_convexity(zone, sample_points=40, max_pairs=300)
+        fatness = verify_zone_fatness(zone, angles=120)
+        print(
+            f"  zone {index}: convex={convexity.is_convex}, "
+            f"delta={fatness.delta:.3f}, Delta={fatness.Delta:.3f}, "
+            f"fatness={fatness.fatness:.3f} (bound {fatness.bound:.3f})"
+        )
+
+    # ------------------------------------------------------------------
+    # 5. Approximate point location (Theorem 3).
+    # ------------------------------------------------------------------
+    structure = PointLocationStructure(network, epsilon=0.3)
+    exact = VoronoiCandidateLocator(network)
+    print(
+        f"\npoint-location structure: {structure.size_estimate()} stored cells, "
+        f"{structure.report.total_segment_tests} segment tests, "
+        f"built in {structure.report.build_seconds:.2f}s"
+    )
+    for probe in [Point(0.5, 0.5), Point(3.0, 2.5), Point(2.0, 2.0), Point(12.0, -3.0)]:
+        answer = structure.locate(probe)
+        truth = exact.locate(probe)
+        print(
+            f"  query {probe.as_tuple()}: {answer.label.value} "
+            f"(candidate station s{answer.station}); exact answer: "
+            f"{'s' + str(truth) if truth is not None else 'nothing'}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""UDG versus SINR: false positives and false negatives (Figures 1-4).
+
+The paper motivates SINR diagrams by showing where graph-based models misjudge
+reception.  This example replays the paper's scenarios:
+
+* Figure 1 — reception at a fixed receiver flips as one station moves and
+  another goes silent;
+* Figure 2 — cumulative interference produces a UDG *false positive*;
+* Figures 3-4 — adding transmitters one at a time produces UDG *false
+  negatives*;
+* finally, a disagreement heat-map over a whole region quantifies how often
+  the two models differ.
+
+Run with:  python examples/udg_vs_sinr.py
+"""
+
+from __future__ import annotations
+
+from repro import Point, SINRDiagram
+from repro.diagrams import figure1_panels, figure2_scenario, figure3_4_steps, to_ascii
+from repro.graphs import ModelComparator, ReceptionOutcome
+
+
+def outcome_name(index) -> str:
+    return f"s{index + 1}" if index is not None else "nothing"
+
+
+def replay_figure1() -> None:
+    print("=" * 70)
+    print("Figure 1: reception depends on the locations/activity of other stations")
+    print("=" * 70)
+    for panel in figure1_panels():
+        heard = panel.sinr_outcome()
+        print(f"  panel {panel.name}: {panel.description}")
+        print(
+            f"    receiver at {panel.receiver.as_tuple()} hears "
+            f"{outcome_name(heard)} (expected {outcome_name(panel.expected_sinr)})"
+        )
+
+
+def replay_figure2() -> None:
+    print("\n" + "=" * 70)
+    print("Figure 2: cumulative interference (UDG false positive)")
+    print("=" * 70)
+    panel = figure2_scenario()
+    print(f"  {panel.description}")
+    print(f"    UDG outcome : receiver hears {outcome_name(panel.udg_outcome())}")
+    print(f"    SINR outcome: receiver hears {outcome_name(panel.sinr_outcome())}")
+
+
+def replay_figures_3_4() -> None:
+    print("\n" + "=" * 70)
+    print("Figures 3-4: adding transmitters one at a time (UDG false negatives)")
+    print("=" * 70)
+    for panel in figure3_4_steps():
+        print(
+            f"  {panel.name}: UDG hears {outcome_name(panel.udg_outcome()):>8}, "
+            f"SINR hears {outcome_name(panel.sinr_outcome()):>8}   ({panel.description})"
+        )
+
+
+def disagreement_heatmap() -> None:
+    print("\n" + "=" * 70)
+    print("Model disagreement over a region (sender = s1 of the Figure 2 layout)")
+    print("=" * 70)
+    panel = figure2_scenario()
+    comparator = ModelComparator(panel.network, udg_radius=panel.udg_radius)
+    summary = comparator.summarize_grid(
+        Point(-10.0, -10.0), Point(10.0, 10.0), sender=0, resolution=80
+    )
+    for outcome in ReceptionOutcome:
+        print(f"  {outcome.value:25s}: {summary.fraction(outcome) * 100.0:6.2f} %")
+    print(f"  total disagreement       : {summary.disagreement_fraction * 100.0:6.2f} %")
+
+    print("\n  SINR diagram of the Figure 2 network:")
+    diagram = SINRDiagram(panel.network)
+    raster = diagram.rasterize(Point(-10, -10), Point(10, 10), resolution=110)
+    print(to_ascii(raster, station_locations=panel.network.locations(), max_width=80))
+
+
+def main() -> None:
+    replay_figure1()
+    replay_figure2()
+    replay_figures_3_4()
+    disagreement_heatmap()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e .`` / ``python setup.py develop`` work in
+fully offline environments where PEP 660 editable installs (which require the
+``wheel`` package) are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro: SINR Diagrams — an algorithmically usable SINR model of wireless networks.
+
+Reproduction of *SINR Diagrams: Towards Algorithmically Usable SINR Models of
+Wireless Networks* (Avin, Emek, Kantor, Lotker, Peleg, Roditty; PODC 2009).
+
+The top-level namespace re-exports the most commonly used types; the full API
+lives in the subpackages:
+
+* :mod:`repro.geometry` — planar geometry substrate,
+* :mod:`repro.algebra` — polynomials, Sturm sequences, reception polynomials,
+* :mod:`repro.model` — stations, networks, reception zones, SINR diagrams,
+* :mod:`repro.graphs` — graph-based baselines (UDG, Quasi-UDG, ...),
+* :mod:`repro.pointlocation` — the approximate point-location structure,
+* :mod:`repro.analysis` — convexity / fatness / theorem verification,
+* :mod:`repro.diagrams` — raster diagrams, contours, exports, paper figures,
+* :mod:`repro.workloads` — network generators and benchmark scenarios.
+"""
+
+from .exceptions import (
+    AlgebraError,
+    DiagramError,
+    GeometryError,
+    NetworkConfigurationError,
+    PointLocationError,
+    ReproError,
+)
+from .geometry import Point
+from .model import (
+    DEFAULT_ALPHA,
+    DEFAULT_BETA,
+    NO_RECEPTION,
+    RasterDiagram,
+    ReceptionZone,
+    SINRDiagram,
+    Station,
+    WirelessNetwork,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgebraError",
+    "DEFAULT_ALPHA",
+    "DEFAULT_BETA",
+    "DiagramError",
+    "GeometryError",
+    "NO_RECEPTION",
+    "NetworkConfigurationError",
+    "Point",
+    "PointLocationError",
+    "RasterDiagram",
+    "ReceptionZone",
+    "ReproError",
+    "SINRDiagram",
+    "Station",
+    "WirelessNetwork",
+    "__version__",
+]

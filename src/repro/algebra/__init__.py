@@ -1,0 +1,45 @@
+"""Real-algebra substrate: polynomials, Sturm sequences, reception polynomials.
+
+This package contains the algebraic machinery behind the paper's convexity
+proof (Section 3) and point-location segment test (Section 5): univariate and
+bivariate polynomials, Sturm sequences with Sturm's condition for root
+counting (Theorem 3.6), closed-form low-degree root formulas and
+discriminants, and the factored reception polynomial ``H(x, y)`` of eq. (2).
+"""
+
+from .bivariate import BivariatePolynomial, squared_distance_polynomial
+from .polynomial import Polynomial
+from .reception import ReceptionPolynomial
+from .roots import (
+    cubic_discriminant,
+    cubic_has_single_real_root,
+    numeric_real_roots,
+    quartic_depressed_form,
+    real_roots_of_linear,
+    real_roots_of_quadratic,
+)
+from .sturm import (
+    SturmSequence,
+    count_distinct_real_roots_in_interval,
+    count_real_roots,
+    isolate_real_roots,
+    refine_root,
+)
+
+__all__ = [
+    "BivariatePolynomial",
+    "Polynomial",
+    "ReceptionPolynomial",
+    "SturmSequence",
+    "count_distinct_real_roots_in_interval",
+    "count_real_roots",
+    "cubic_discriminant",
+    "cubic_has_single_real_root",
+    "isolate_real_roots",
+    "numeric_real_roots",
+    "quartic_depressed_form",
+    "real_roots_of_linear",
+    "real_roots_of_quadratic",
+    "refine_root",
+    "squared_distance_polynomial",
+]

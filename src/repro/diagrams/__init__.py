@@ -1,0 +1,32 @@
+"""Diagram construction: boundary tracing, text exports and the paper's figures."""
+
+from .contour import marching_squares, trace_zone_boundary
+from .export import to_ascii, to_csv, to_pgm, write_csv, write_pgm
+from .figures import (
+    PAPER_FIGURES,
+    FigurePanel,
+    figure1_panels,
+    figure2_scenario,
+    figure3_4_steps,
+    figure5_network,
+    figure6_network,
+    figure7_network,
+)
+
+__all__ = [
+    "FigurePanel",
+    "PAPER_FIGURES",
+    "figure1_panels",
+    "figure2_scenario",
+    "figure3_4_steps",
+    "figure5_network",
+    "figure6_network",
+    "figure7_network",
+    "marching_squares",
+    "to_ascii",
+    "to_csv",
+    "to_pgm",
+    "trace_zone_boundary",
+    "write_csv",
+    "write_pgm",
+]

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific failures derive from :class:`ReproError` so that callers
+can distinguish library errors from programming errors (``TypeError`` and
+friends) with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class GeometryError(ReproError):
+    """Raised for invalid geometric constructions (e.g. a degenerate segment)."""
+
+
+class AlgebraError(ReproError):
+    """Raised for invalid polynomial operations (e.g. dividing by zero poly)."""
+
+
+class NetworkConfigurationError(ReproError):
+    """Raised when a wireless network is constructed with invalid parameters.
+
+    Examples: fewer than two stations, a non-positive transmission power,
+    a negative background noise, or a reception threshold below the value a
+    particular algorithm requires.
+    """
+
+
+class PointLocationError(ReproError):
+    """Raised when the point-location preprocessing cannot be carried out.
+
+    Typical causes: the reception zone of the target station is degenerate
+    (another station shares its location) or the performance parameter
+    ``epsilon`` is outside ``(0, 1)``.
+    """
+
+
+class DiagramError(ReproError):
+    """Raised when a raster or contour diagram cannot be constructed."""

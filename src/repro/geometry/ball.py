@@ -1,0 +1,128 @@
+"""Closed balls (disks) in the plane.
+
+A ball ``B(p, r)`` is the set of all points at distance at most ``r`` from
+``p`` (Section 2.1 of the paper).  Balls appear throughout the analysis:
+
+* the fatness parameter is defined through the largest inscribed and the
+  smallest enclosing ball centred at a station (Section 2.1, Figure 7);
+* the convexity proof with background noise replaces the noise by a station
+  placed on the intersection of two balls of radius ``1/sqrt(N)``
+  (Section 3.4, Figure 13);
+* Lemma 3.10 places the merged station on the intersection of the circles
+  ``∂B_1`` and ``∂B_2``.
+
+This module therefore provides containment predicates and the circle-circle
+intersection used by those constructions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..exceptions import GeometryError
+from .point import Point
+
+__all__ = ["Ball", "circle_intersection_points"]
+
+
+@dataclass(frozen=True, slots=True)
+class Ball:
+    """The closed ball ``B(center, radius)``."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise GeometryError(f"ball radius must be non-negative, got {self.radius}")
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains(self, point: Point, tolerance: float = 0.0) -> bool:
+        """Return True if ``point`` lies in the closed ball (within tolerance)."""
+        return self.center.distance_to(point) <= self.radius + tolerance
+
+    def strictly_contains(self, point: Point, tolerance: float = 0.0) -> bool:
+        """Return True if ``point`` lies in the open ball."""
+        return self.center.distance_to(point) < self.radius - tolerance
+
+    def on_boundary(self, point: Point, tolerance: float = 1e-9) -> bool:
+        """Return True if ``point`` lies on the bounding circle."""
+        return abs(self.center.distance_to(point) - self.radius) <= tolerance
+
+    def contains_ball(self, other: "Ball", tolerance: float = 0.0) -> bool:
+        """Return True if ``other`` is contained in this ball."""
+        return (
+            self.center.distance_to(other.center) + other.radius
+            <= self.radius + tolerance
+        )
+
+    def intersects_ball(self, other: "Ball", tolerance: float = 0.0) -> bool:
+        """Return True if the two closed balls share at least one point."""
+        return (
+            self.center.distance_to(other.center)
+            <= self.radius + other.radius + tolerance
+        )
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    def area(self) -> float:
+        """Area of the ball, ``pi * r^2``."""
+        return math.pi * self.radius * self.radius
+
+    def perimeter(self) -> float:
+        """Perimeter of the ball, ``2 * pi * r``."""
+        return 2.0 * math.pi * self.radius
+
+    def boundary_point(self, angle: float) -> Point:
+        """The boundary point at polar angle ``angle`` (radians)."""
+        return Point(
+            self.center.x + self.radius * math.cos(angle),
+            self.center.y + self.radius * math.sin(angle),
+        )
+
+    def sample_boundary(self, count: int) -> List[Point]:
+        """Return ``count`` points equally spaced along the bounding circle."""
+        if count <= 0:
+            raise GeometryError("sample_boundary() requires a positive count")
+        step = 2.0 * math.pi / count
+        return [self.boundary_point(i * step) for i in range(count)]
+
+
+def circle_intersection_points(first: Ball, second: Ball) -> List[Point]:
+    """Intersection points of the boundary circles of two balls.
+
+    Returns zero, one (tangency) or two points.  Used by the constructions of
+    Lemma 3.10 and Section 3.4 where a replacement station is located on an
+    intersection point of two circles.
+
+    Raises:
+        GeometryError: if the two circles are identical (infinitely many
+            intersection points).
+    """
+    d = first.center.distance_to(second.center)
+    r1 = first.radius
+    r2 = second.radius
+
+    if d == 0.0 and r1 == r2:
+        raise GeometryError("identical circles intersect in infinitely many points")
+    if d > r1 + r2 or d < abs(r1 - r2):
+        return []
+
+    # Distance from the first centre to the radical line along the centre line.
+    a = (d * d + r1 * r1 - r2 * r2) / (2.0 * d)
+    h_squared = r1 * r1 - a * a
+    # Guard against tiny negative values produced by floating-point rounding.
+    h = math.sqrt(max(h_squared, 0.0))
+
+    direction = (second.center - first.center) / d
+    base = first.center + direction * a
+    offset = direction.perpendicular() * h
+
+    if h <= 1e-15:
+        return [base]
+    return [base + offset, base - offset]

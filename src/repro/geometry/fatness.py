@@ -1,0 +1,147 @@
+"""Fatness of planar zones (Section 2.1 and Figure 7 of the paper).
+
+For a bounded zone ``Z`` and an internal point ``p`` the paper defines
+
+* ``delta(p, Z)`` — the radius of the largest ball centred at ``p`` that is
+  fully contained in ``Z``;
+* ``Delta(p, Z)`` — the radius of the smallest ball centred at ``p`` that
+  fully contains ``Z``;
+* the fatness parameter ``phi(p, Z) = Delta(p, Z) / delta(p, Z)``.
+
+``Z`` is *fat* with respect to ``p`` when ``phi(p, Z)`` is bounded by a
+constant.  Theorem 2 shows reception zones of uniform-power networks are fat
+with ``phi <= (sqrt(beta) + 1) / (sqrt(beta) - 1)``.
+
+Zones in this library are usually given either as a membership predicate (the
+SINR reception test) or as a polygon approximating the boundary, so this
+module provides fatness measurement for both representations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..exceptions import GeometryError
+from .point import Point
+from .polygon import Polygon
+
+__all__ = [
+    "FatnessMeasurement",
+    "fatness_of_polygon",
+    "fatness_of_predicate",
+    "theoretical_fatness_bound",
+]
+
+ZonePredicate = Callable[[Point], bool]
+
+
+@dataclass(frozen=True, slots=True)
+class FatnessMeasurement:
+    """The inscribed radius, enclosing radius and their ratio for a zone."""
+
+    center: Point
+    delta: float
+    Delta: float
+
+    @property
+    def fatness(self) -> float:
+        """The fatness parameter ``phi = Delta / delta``."""
+        if self.delta <= 0.0:
+            return math.inf
+        return self.Delta / self.delta
+
+    def satisfies_bound(self, bound: float, slack: float = 1e-9) -> bool:
+        """Return True if ``phi <= bound`` up to a relative ``slack``."""
+        return self.fatness <= bound * (1.0 + slack)
+
+
+def theoretical_fatness_bound(beta: float) -> float:
+    """The paper's fatness bound ``(sqrt(beta) + 1) / (sqrt(beta) - 1)``.
+
+    Only meaningful for ``beta > 1`` (Theorem 4.2); raises for smaller values.
+    """
+    if beta <= 1.0:
+        raise GeometryError("the fatness bound of Theorem 4.2 requires beta > 1")
+    root = math.sqrt(beta)
+    return (root + 1.0) / (root - 1.0)
+
+
+def fatness_of_polygon(polygon: Polygon, center: Point) -> FatnessMeasurement:
+    """Measure fatness of a polygonal zone with respect to an internal point.
+
+    ``delta`` is the distance from ``center`` to the nearest boundary edge and
+    ``Delta`` the distance to the farthest vertex.  For convex polygons that
+    contain ``center`` these are exactly the paper's quantities.
+    """
+    if not polygon.contains(center):
+        raise GeometryError("fatness is only defined for an internal point of the zone")
+    delta = min(edge.distance_to_point(center) for edge in polygon.edges())
+    big_delta = max(center.distance_to(vertex) for vertex in polygon.vertices)
+    return FatnessMeasurement(center=center, delta=delta, Delta=big_delta)
+
+
+def fatness_of_predicate(
+    inside: ZonePredicate,
+    center: Point,
+    max_radius: float,
+    angles: int = 360,
+    radial_tolerance: float = 1e-6,
+) -> FatnessMeasurement:
+    """Measure fatness of a zone given only by a membership predicate.
+
+    The zone is assumed to be star-shaped with respect to ``center`` (true for
+    SINR reception zones by Lemma 3.1), so along each ray from ``center`` the
+    zone is an interval ``[0, r(theta)]``.  The boundary distance ``r(theta)``
+    is located by bisection between 0 and ``max_radius`` on ``angles`` equally
+    spaced rays; ``delta`` / ``Delta`` are the min / max over the rays.
+
+    Args:
+        inside: membership predicate of the zone.
+        center: an internal point (typically the station location).
+        max_radius: a radius known to be outside the zone in every direction.
+        angles: number of rays used in the sweep.
+        radial_tolerance: bisection stopping tolerance (absolute distance).
+    """
+    if angles < 4:
+        raise GeometryError("fatness_of_predicate() needs at least four rays")
+    if not inside(center):
+        raise GeometryError("center must belong to the zone")
+
+    radii = []
+    for index in range(angles):
+        theta = 2.0 * math.pi * index / angles
+        direction = Point(math.cos(theta), math.sin(theta))
+        radii.append(
+            _boundary_distance_along_ray(
+                inside, center, direction, max_radius, radial_tolerance
+            )
+        )
+    return FatnessMeasurement(center=center, delta=min(radii), Delta=max(radii))
+
+
+def _boundary_distance_along_ray(
+    inside: ZonePredicate,
+    center: Point,
+    direction: Point,
+    max_radius: float,
+    tolerance: float,
+) -> float:
+    """Distance from ``center`` to the zone boundary along ``direction``.
+
+    Assumes the zone restricted to the ray is an interval starting at the
+    centre, i.e. the zone is star-shaped with respect to ``center``.
+    """
+    low = 0.0
+    high = max_radius
+    if inside(center + direction * max_radius):
+        # The zone is not bounded by max_radius in this direction; report the cap.
+        return max_radius
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if inside(center + direction * mid):
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0

@@ -1,0 +1,115 @@
+"""A 2-d tree for nearest-station queries.
+
+The combined point-location structure of Theorem 3 first identifies the
+station closest to the query point (Observation 2.2 guarantees this is the
+only station that can possibly be heard there) and only then consults that
+station's grid structure.  The paper uses a Voronoi diagram for this step;
+any ``O(log n)`` nearest-neighbour structure works, and the library's default
+front-end is this k-d tree (the Voronoi diagram of
+:mod:`repro.geometry.voronoi` is also available and is used to verify
+Observation 2.2 explicitly).
+
+The implementation is a classic static 2-d tree built by median splitting,
+giving ``O(n log n)`` construction and ``O(log n)`` expected query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import GeometryError
+from .point import Point
+
+__all__ = ["KDTree"]
+
+
+@dataclass
+class _Node:
+    point: Point
+    payload: int
+    axis: int
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+
+class KDTree:
+    """Static k-d tree over a fixed set of points with integer payloads.
+
+    Points are associated with their index in the input sequence, so a
+    nearest-neighbour query returns ``(index, point, distance)``.
+    """
+
+    def __init__(self, points: Sequence[Point]):
+        if not points:
+            raise GeometryError("KDTree requires at least one point")
+        self._size = len(points)
+        items = [(point, index) for index, point in enumerate(points)]
+        self._root = self._build(items, depth=0)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(
+        self, items: List[Tuple[Point, int]], depth: int
+    ) -> Optional[_Node]:
+        if not items:
+            return None
+        axis = depth % 2
+        items.sort(key=lambda item: item[0][axis])
+        median = len(items) // 2
+        point, payload = items[median]
+        node = _Node(point=point, payload=payload, axis=axis)
+        node.left = self._build(items[:median], depth + 1)
+        node.right = self._build(items[median + 1 :], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def nearest(self, query: Point) -> Tuple[int, Point, float]:
+        """Return ``(index, point, distance)`` of the closest stored point."""
+        best: List[Tuple[float, int, Point]] = [(float("inf"), -1, query)]
+
+        def visit(node: Optional[_Node]) -> None:
+            if node is None:
+                return
+            distance = node.point.distance_to(query)
+            if distance < best[0][0]:
+                best[0] = (distance, node.payload, node.point)
+            axis_delta = query[node.axis] - node.point[node.axis]
+            near, far = (node.left, node.right) if axis_delta < 0 else (node.right, node.left)
+            visit(near)
+            if abs(axis_delta) < best[0][0]:
+                visit(far)
+
+        visit(self._root)
+        distance, payload, point = best[0]
+        return payload, point, distance
+
+    def nearest_index(self, query: Point) -> int:
+        """Index of the closest stored point."""
+        return self.nearest(query)[0]
+
+    def within_radius(self, query: Point, radius: float) -> List[int]:
+        """Indices of all stored points within ``radius`` of ``query``."""
+        if radius < 0:
+            raise GeometryError("radius must be non-negative")
+        found: List[int] = []
+
+        def visit(node: Optional[_Node]) -> None:
+            if node is None:
+                return
+            if node.point.distance_to(query) <= radius:
+                found.append(node.payload)
+            axis_delta = query[node.axis] - node.point[node.axis]
+            near, far = (node.left, node.right) if axis_delta < 0 else (node.right, node.left)
+            visit(near)
+            if abs(axis_delta) <= radius:
+                visit(far)
+
+        visit(self._root)
+        return sorted(found)

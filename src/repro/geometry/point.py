@@ -1,0 +1,204 @@
+"""Points and vectors in the Euclidean plane.
+
+The paper works entirely in ``R^2`` (Section 2.1).  This module provides an
+immutable :class:`Point` type used throughout the library for station
+locations, query points and geometric constructions, together with the basic
+vector operations needed by the rest of the geometry substrate.
+
+The type is intentionally lightweight: a frozen dataclass of two floats with
+value semantics, hashable so that points can be used as dictionary keys (e.g.
+grid-cell corners memoised by the point-location preprocessing).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+__all__ = [
+    "Point",
+    "ORIGIN",
+    "distance",
+    "squared_distance",
+    "midpoint",
+    "centroid",
+    "dot",
+    "cross",
+    "collinear",
+    "orientation",
+    "as_point",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point (equivalently, a vector) in the Euclidean plane ``R^2``."""
+
+    x: float
+    y: float
+
+    # ------------------------------------------------------------------
+    # Vector arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __getitem__(self, index: int) -> float:
+        return (self.x, self.y)[index]
+
+    def __len__(self) -> int:
+        return 2
+
+    # ------------------------------------------------------------------
+    # Norms and distances
+    # ------------------------------------------------------------------
+    def norm(self) -> float:
+        """Euclidean length of the vector from the origin to this point."""
+        return math.hypot(self.x, self.y)
+
+    def squared_norm(self) -> float:
+        """Squared Euclidean length (avoids the square root)."""
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance ``dist(self, other)``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance to ``other``."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    # ------------------------------------------------------------------
+    # Directions
+    # ------------------------------------------------------------------
+    def normalized(self) -> "Point":
+        """Return the unit vector pointing in the same direction.
+
+        Raises:
+            ZeroDivisionError: if this is the zero vector.
+        """
+        length = self.norm()
+        return Point(self.x / length, self.y / length)
+
+    def perpendicular(self) -> "Point":
+        """Return this vector rotated by +90 degrees (counter-clockwise)."""
+        return Point(-self.y, self.x)
+
+    def rotated(self, angle: float, about: "Point | None" = None) -> "Point":
+        """Return this point rotated by ``angle`` radians about ``about``.
+
+        ``about`` defaults to the origin.
+        """
+        pivot = about if about is not None else ORIGIN
+        cos_a = math.cos(angle)
+        sin_a = math.sin(angle)
+        dx = self.x - pivot.x
+        dy = self.y - pivot.y
+        return Point(
+            pivot.x + cos_a * dx - sin_a * dy,
+            pivot.y + sin_a * dx + cos_a * dy,
+        )
+
+    def angle(self) -> float:
+        """Polar angle of the vector from the origin, in ``(-pi, pi]``."""
+        return math.atan2(self.y, self.x)
+
+    # ------------------------------------------------------------------
+    # Comparison helpers
+    # ------------------------------------------------------------------
+    def is_close(self, other: "Point", tolerance: float = 1e-9) -> bool:
+        """Return True if both coordinates match within ``tolerance``."""
+        return (
+            abs(self.x - other.x) <= tolerance and abs(self.y - other.y) <= tolerance
+        )
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return the coordinates as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+
+ORIGIN = Point(0.0, 0.0)
+
+
+def as_point(value: "Point | Sequence[float]") -> Point:
+    """Coerce a :class:`Point` or any 2-sequence of floats into a :class:`Point`."""
+    if isinstance(value, Point):
+        return value
+    x, y = value
+    return Point(float(x), float(y))
+
+
+def distance(p: "Point | Sequence[float]", q: "Point | Sequence[float]") -> float:
+    """Euclidean distance between two points (accepts tuples)."""
+    return as_point(p).distance_to(as_point(q))
+
+
+def squared_distance(
+    p: "Point | Sequence[float]", q: "Point | Sequence[float]"
+) -> float:
+    """Squared Euclidean distance between two points (accepts tuples)."""
+    return as_point(p).squared_distance_to(as_point(q))
+
+
+def midpoint(p: Point, q: Point) -> Point:
+    """The midpoint of the segment ``p q``."""
+    return Point((p.x + q.x) / 2.0, (p.y + q.y) / 2.0)
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Arithmetic mean of a non-empty collection of points."""
+    total_x = 0.0
+    total_y = 0.0
+    count = 0
+    for point in points:
+        total_x += point.x
+        total_y += point.y
+        count += 1
+    if count == 0:
+        raise ValueError("centroid() requires at least one point")
+    return Point(total_x / count, total_y / count)
+
+
+def dot(p: Point, q: Point) -> float:
+    """Dot product of two vectors."""
+    return p.x * q.x + p.y * q.y
+
+
+def cross(p: Point, q: Point) -> float:
+    """Z-component of the cross product of two vectors (signed area x2)."""
+    return p.x * q.y - p.y * q.x
+
+
+def orientation(a: Point, b: Point, c: Point) -> float:
+    """Signed area of the parallelogram spanned by ``b - a`` and ``c - a``.
+
+    Positive when ``a -> b -> c`` turns counter-clockwise, negative when it
+    turns clockwise, and zero when the three points are collinear.
+    """
+    return cross(b - a, c - a)
+
+
+def collinear(a: Point, b: Point, c: Point, tolerance: float = 1e-9) -> bool:
+    """Return True if the three points lie on a common line (within tolerance)."""
+    return abs(orientation(a, b, c)) <= tolerance

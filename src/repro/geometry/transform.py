@@ -1,0 +1,152 @@
+"""Similarity transforms of the plane (rotation, translation, uniform scaling).
+
+Lemma 2.3 of the paper states that applying such a mapping ``f`` (with scale
+factor ``sigma``) to a network and dividing the background noise by
+``sigma^2`` leaves every SINR value unchanged:
+
+    SINR_A(s_i, p) = SINR_{f(A)}(f(s_i), f(p)).
+
+The convexity and fatness proofs repeatedly invoke this invariance to move a
+station to the origin or to align a line with ``y = 1``.  The library uses the
+same trick: :class:`SimilarityTransform` composes rotation, scaling and
+translation, exposes its scale factor (needed to adjust the noise), and
+provides the canonical normalisations used by the proofs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..exceptions import GeometryError
+from .point import Point
+
+__all__ = ["SimilarityTransform"]
+
+
+@dataclass(frozen=True, slots=True)
+class SimilarityTransform:
+    """An orientation-preserving similarity ``p -> scale * R(angle) * p + offset``.
+
+    The transform first rotates by ``angle`` radians about the origin, then
+    scales by ``scale`` (which must be positive), then translates by
+    ``offset``.
+    """
+
+    angle: float = 0.0
+    scale: float = 1.0
+    offset: Point = Point(0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0.0:
+            raise GeometryError(f"scale factor must be positive, got {self.scale}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def identity() -> "SimilarityTransform":
+        """The identity transform."""
+        return SimilarityTransform()
+
+    @staticmethod
+    def translation(offset: Point) -> "SimilarityTransform":
+        """Pure translation by ``offset``."""
+        return SimilarityTransform(offset=offset)
+
+    @staticmethod
+    def rotation(angle: float, about: Point | None = None) -> "SimilarityTransform":
+        """Rotation by ``angle`` radians about ``about`` (default: origin)."""
+        if about is None:
+            return SimilarityTransform(angle=angle)
+        rotate = SimilarityTransform(angle=angle)
+        return (
+            SimilarityTransform.translation(about)
+            .compose(rotate)
+            .compose(SimilarityTransform.translation(-about))
+        )
+
+    @staticmethod
+    def scaling(scale: float, about: Point | None = None) -> "SimilarityTransform":
+        """Uniform scaling by ``scale`` about ``about`` (default: origin)."""
+        if about is None:
+            return SimilarityTransform(scale=scale)
+        rescale = SimilarityTransform(scale=scale)
+        return (
+            SimilarityTransform.translation(about)
+            .compose(rescale)
+            .compose(SimilarityTransform.translation(-about))
+        )
+
+    @staticmethod
+    def canonicalize(source: Point, target: Point) -> "SimilarityTransform":
+        """The similarity mapping ``source`` to the origin and ``target`` to ``(1, 0)``.
+
+        This is the normalisation used repeatedly in Section 3 and Section 4
+        (e.g. "assume s0 = (0,0) and p = (-1, 0)"), up to the choice of image
+        points.  The two input points must be distinct.
+        """
+        separation = source.distance_to(target)
+        if separation == 0.0:
+            raise GeometryError("canonicalize() requires distinct points")
+        angle = -(target - source).angle()
+        scale = 1.0 / separation
+        # First translate source to origin, then rotate, then scale.
+        move = SimilarityTransform.translation(-source)
+        rotate = SimilarityTransform(angle=angle)
+        rescale = SimilarityTransform(scale=scale)
+        return rescale.compose(rotate).compose(move)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(self, point: Point) -> Point:
+        """Apply the transform to a single point."""
+        cos_a = math.cos(self.angle)
+        sin_a = math.sin(self.angle)
+        x = self.scale * (cos_a * point.x - sin_a * point.y) + self.offset.x
+        y = self.scale * (sin_a * point.x + cos_a * point.y) + self.offset.y
+        return Point(x, y)
+
+    def apply_many(self, points: Iterable[Point]) -> List[Point]:
+        """Apply the transform to every point in ``points``."""
+        return [self.apply(point) for point in points]
+
+    def __call__(self, point: Point) -> Point:
+        return self.apply(point)
+
+    # ------------------------------------------------------------------
+    # Algebra of transforms
+    # ------------------------------------------------------------------
+    def compose(self, inner: "SimilarityTransform") -> "SimilarityTransform":
+        """Return the transform ``self o inner`` (apply ``inner`` first)."""
+        # self(inner(p)) = s1 R1 (s2 R2 p + t2) + t1 = s1 s2 R1 R2 p + (s1 R1 t2 + t1)
+        combined_angle = self.angle + inner.angle
+        combined_scale = self.scale * inner.scale
+        rotated_offset = inner.offset.rotated(self.angle) * self.scale
+        combined_offset = rotated_offset + self.offset
+        return SimilarityTransform(
+            angle=combined_angle, scale=combined_scale, offset=combined_offset
+        )
+
+    def inverse(self) -> "SimilarityTransform":
+        """Return the inverse transform."""
+        inverse_scale = 1.0 / self.scale
+        inverse_angle = -self.angle
+        inverse_offset = (-self.offset).rotated(inverse_angle) * inverse_scale
+        return SimilarityTransform(
+            angle=inverse_angle, scale=inverse_scale, offset=inverse_offset
+        )
+
+    # ------------------------------------------------------------------
+    # SINR bookkeeping (Lemma 2.3)
+    # ------------------------------------------------------------------
+    def noise_factor(self) -> float:
+        """Factor by which the background noise must be divided (``scale^2``).
+
+        Lemma 2.3: if the transform scales distances by ``sigma`` then the
+        network ``f(A)`` with noise ``N / sigma^2`` has the same SINR values
+        as ``A``.
+        """
+        return self.scale * self.scale

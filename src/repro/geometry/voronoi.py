@@ -1,0 +1,132 @@
+"""Voronoi diagrams by half-plane intersection.
+
+Observation 2.2 of the paper: in a non-trivial uniform-power network, the
+reception zone ``H_i`` of station ``s_i`` is strictly contained in the Voronoi
+cell of ``s_i``.  The point-location structure of Theorem 3 exploits this by
+first locating the query point's Voronoi cell (i.e. its nearest station) and
+then consulting only that station's grid structure.
+
+The diagram here is computed per cell by intersecting half-planes: the cell of
+site ``s_i`` is the intersection, over all ``j != i``, of the half-plane on
+``s_i``'s side of the separation line of ``s_i`` and ``s_j``, clipped to a
+bounding box so that unbounded cells become finite polygons.  This is
+``O(n^2)`` overall — more than enough for the network sizes the paper's
+figures use, and independent of any external geometry package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import GeometryError
+from .point import Point
+from .polygon import Polygon
+from .segment import separation_line
+
+__all__ = ["VoronoiCell", "VoronoiDiagram"]
+
+
+@dataclass(frozen=True, slots=True)
+class VoronoiCell:
+    """The Voronoi cell of one site, clipped to the diagram's bounding box."""
+
+    site_index: int
+    site: Point
+    polygon: Optional[Polygon]
+
+    def contains(self, point: Point, tolerance: float = 1e-9) -> bool:
+        """Return True if ``point`` belongs to this (clipped) cell."""
+        if self.polygon is None:
+            return False
+        return self.polygon.contains(point, tolerance=tolerance)
+
+
+class VoronoiDiagram:
+    """The Voronoi diagram of a finite set of distinct sites.
+
+    Args:
+        sites: the site locations; duplicates are rejected because the cell of
+            a duplicated site is empty and nearest-site queries become
+            ambiguous.
+        bounding_margin: the clipping box extends this factor times the span
+            of the sites beyond their bounding box (at least 1.0 length unit).
+    """
+
+    def __init__(self, sites: Sequence[Point], bounding_margin: float = 2.0):
+        if len(sites) < 1:
+            raise GeometryError("VoronoiDiagram requires at least one site")
+        seen: Dict[Tuple[float, float], int] = {}
+        for index, site in enumerate(sites):
+            key = (site.x, site.y)
+            if key in seen:
+                raise GeometryError(
+                    f"duplicate site at {site} (indices {seen[key]} and {index})"
+                )
+            seen[key] = index
+        self._sites = list(sites)
+        self._box = self._bounding_box(bounding_margin)
+        self._cells = [self._build_cell(i) for i in range(len(self._sites))]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _bounding_box(self, margin: float) -> Polygon:
+        xs = [site.x for site in self._sites]
+        ys = [site.y for site in self._sites]
+        span = max(max(xs) - min(xs), max(ys) - min(ys), 1.0)
+        pad = margin * span
+        return Polygon.axis_aligned_box(
+            Point(min(xs) - pad, min(ys) - pad),
+            Point(max(xs) + pad, max(ys) + pad),
+        )
+
+    def _build_cell(self, index: int) -> VoronoiCell:
+        site = self._sites[index]
+        cell: Optional[Polygon] = self._box
+        for other_index, other in enumerate(self._sites):
+            if other_index == index or cell is None:
+                continue
+            bisector = separation_line(site, other)
+            keep_side = bisector.side(site)
+            if keep_side == 0:
+                # The site lies on its own bisector only if the two sites
+                # coincide, which is excluded by construction.
+                continue
+            cell = cell.clip_to_half_plane(bisector, keep_side=keep_side)
+        return VoronoiCell(site_index=index, site=site, polygon=cell)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def sites(self) -> List[Point]:
+        return list(self._sites)
+
+    @property
+    def cells(self) -> List[VoronoiCell]:
+        return list(self._cells)
+
+    def cell(self, index: int) -> VoronoiCell:
+        return self._cells[index]
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nearest_site(self, point: Point) -> int:
+        """Index of the site whose cell contains ``point`` (nearest site)."""
+        best_index = 0
+        best_distance = self._sites[0].squared_distance_to(point)
+        for index in range(1, len(self._sites)):
+            distance = self._sites[index].squared_distance_to(point)
+            if distance < best_distance:
+                best_distance = distance
+                best_index = index
+        return best_index
+
+    def locate(self, point: Point) -> VoronoiCell:
+        """The cell containing ``point``."""
+        return self._cells[self.nearest_site(point)]

@@ -1,0 +1,45 @@
+"""Graph-based wireless models: UDG, Quasi-UDG and interference-graph baselines.
+
+These are the simplified models the paper compares against (Sections 1.1–1.2):
+the unit disk graph / protocol model, the Quasi-UDG model of Kuhn et al., and
+the general connectivity+interference graph family, together with the
+comparator that quantifies false positives / false negatives relative to the
+SINR model (Figures 2–4).
+"""
+
+from .comparison import (
+    ComparisonSummary,
+    ModelComparator,
+    PointComparison,
+    ReceptionOutcome,
+)
+from .interference_graph import InterferenceGraphModel, two_hop_augmentation
+from .qudg import QuasiUnitDiskGraph
+from .scheduling import (
+    Link,
+    ScheduleComparison,
+    compare_schedules,
+    greedy_schedule,
+    sinr_link_feasible,
+    sinr_links_feasible,
+    udg_links_feasible,
+)
+from .udg import UnitDiskGraph
+
+__all__ = [
+    "ComparisonSummary",
+    "InterferenceGraphModel",
+    "Link",
+    "ModelComparator",
+    "PointComparison",
+    "QuasiUnitDiskGraph",
+    "ReceptionOutcome",
+    "ScheduleComparison",
+    "UnitDiskGraph",
+    "compare_schedules",
+    "greedy_schedule",
+    "sinr_link_feasible",
+    "sinr_links_feasible",
+    "two_hop_augmentation",
+    "udg_links_feasible",
+]

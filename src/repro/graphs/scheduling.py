@@ -1,0 +1,173 @@
+"""Link-scheduling primitives under the SINR and graph-based models.
+
+The paper's motivation (Section 1.1, and the related work on scheduling
+complexity [8, 13]) is that higher-layer tasks — scheduling above all — are
+designed against graph-based models even though feasibility is really decided
+by the SINR rule.  This module provides the minimal machinery needed to make
+that comparison concrete:
+
+* feasibility of a set of simultaneously scheduled links under the SINR model
+  (every receiver must clear the threshold given all scheduled senders as
+  interferers) and under a graph-based model (the protocol rule);
+* a greedy first-fit scheduler that packs links into rounds under either
+  feasibility oracle;
+* a comparison helper reporting the schedule lengths side by side, which is
+  the shape of the capacity/scheduling gaps the cited works study.
+
+A *link* is a pair ``(sender_index, receiver_index)`` of station indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Set, Tuple
+
+from ..exceptions import NetworkConfigurationError
+from ..model.network import WirelessNetwork
+from .udg import UnitDiskGraph
+
+__all__ = [
+    "Link",
+    "sinr_link_feasible",
+    "sinr_links_feasible",
+    "udg_links_feasible",
+    "greedy_schedule",
+    "ScheduleComparison",
+    "compare_schedules",
+]
+
+Link = Tuple[int, int]
+
+
+def _validate_links(network: WirelessNetwork, links: Sequence[Link]) -> None:
+    n = len(network)
+    seen_receivers: Set[int] = set()
+    for sender, receiver in links:
+        if not (0 <= sender < n and 0 <= receiver < n):
+            raise NetworkConfigurationError(f"link ({sender}, {receiver}) out of range")
+        if sender == receiver:
+            raise NetworkConfigurationError("a station cannot transmit to itself")
+
+
+def sinr_link_feasible(
+    network: WirelessNetwork, link: Link, senders: Iterable[int]
+) -> bool:
+    """Is ``link`` successful when exactly ``senders`` transmit simultaneously?
+
+    The receiver hears its sender iff the sender's signal divided by the sum
+    of the other senders' energies plus noise reaches ``beta``.  Receivers are
+    stations, so the energies are evaluated at station locations.
+    """
+    sender, receiver = link
+    transmitting = set(senders)
+    if sender not in transmitting:
+        return False
+    receiver_location = network.station(receiver).location
+    signal = network.energy(sender, receiver_location)
+    interference = sum(
+        network.energy(other, receiver_location)
+        for other in transmitting
+        if other not in (sender, receiver)
+    )
+    denominator = interference + network.noise
+    if denominator == 0.0:
+        return True
+    return signal / denominator >= network.beta
+
+
+def sinr_links_feasible(network: WirelessNetwork, links: Sequence[Link]) -> bool:
+    """Can all ``links`` be scheduled in the same round under the SINR rule?"""
+    _validate_links(network, links)
+    senders = {sender for sender, _ in links}
+    receivers = {receiver for _, receiver in links}
+    # A station cannot transmit and receive in the same round, and a receiver
+    # cannot decode two senders at once.
+    if senders & receivers:
+        return False
+    if len(receivers) != len(links):
+        return False
+    return all(sinr_link_feasible(network, link, senders) for link in links)
+
+
+def udg_links_feasible(
+    network: WirelessNetwork, links: Sequence[Link], radius: float
+) -> bool:
+    """Can all ``links`` be scheduled in the same round under the UDG rule?"""
+    _validate_links(network, links)
+    senders = {sender for sender, _ in links}
+    receivers = {receiver for _, receiver in links}
+    if senders & receivers or len(receivers) != len(links):
+        return False
+    udg = UnitDiskGraph.from_network(network, radius=radius)
+    return all(
+        udg.station_receives(receiver, sender, senders) for sender, receiver in links
+    )
+
+
+def greedy_schedule(
+    links: Sequence[Link],
+    round_feasible: Callable[[Sequence[Link]], bool],
+) -> List[List[Link]]:
+    """First-fit greedy scheduling of ``links`` into feasible rounds.
+
+    Links are processed in the given order; each link is appended to the first
+    round that stays feasible with it, or opens a new round.  Every single
+    link must be feasible on its own, otherwise scheduling is impossible and a
+    :class:`NetworkConfigurationError` is raised.
+    """
+    rounds: List[List[Link]] = []
+    for link in links:
+        if not round_feasible([link]):
+            raise NetworkConfigurationError(
+                f"link {link} is infeasible even in isolation; it cannot be scheduled"
+            )
+        placed = False
+        for round_links in rounds:
+            if round_feasible([*round_links, link]):
+                round_links.append(link)
+                placed = True
+                break
+        if not placed:
+            rounds.append([link])
+    return rounds
+
+
+@dataclass(frozen=True)
+class ScheduleComparison:
+    """Schedule lengths of the same link set under the two feasibility oracles."""
+
+    links: Tuple[Link, ...]
+    sinr_rounds: Tuple[Tuple[Link, ...], ...]
+    udg_rounds: Tuple[Tuple[Link, ...], ...]
+
+    @property
+    def sinr_length(self) -> int:
+        return len(self.sinr_rounds)
+
+    @property
+    def udg_length(self) -> int:
+        return len(self.udg_rounds)
+
+    @property
+    def udg_overhead(self) -> float:
+        """How many times longer the UDG-driven schedule is (>= or < 1)."""
+        if self.sinr_length == 0:
+            return 1.0
+        return self.udg_length / self.sinr_length
+
+
+def compare_schedules(
+    network: WirelessNetwork, links: Sequence[Link], udg_radius: float
+) -> ScheduleComparison:
+    """Greedy schedules of the same links under SINR vs. UDG feasibility."""
+    sinr_rounds = greedy_schedule(
+        links, lambda batch: sinr_links_feasible(network, batch)
+    )
+    udg_rounds = greedy_schedule(
+        links, lambda batch: udg_links_feasible(network, batch, udg_radius)
+    )
+    return ScheduleComparison(
+        links=tuple(links),
+        sinr_rounds=tuple(tuple(r) for r in sinr_rounds),
+        udg_rounds=tuple(tuple(r) for r in udg_rounds),
+    )

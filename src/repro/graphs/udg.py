@@ -1,0 +1,183 @@
+"""The unit disk graph (UDG) / protocol model.
+
+The UDG model (Clark, Colbourn, Johnson [6]; "protocol model" in Gupta–Kumar
+[9]) represents stations as points in the plane with an edge between any two
+stations at distance at most one unit (more generally, at most the
+transmission radius).  Reception follows the *graph rule* used throughout the
+paper's introduction: a station ``s`` successfully receives a message from a
+transmitting neighbour ``s'`` if and only if no other neighbour of ``s`` is
+transmitting concurrently.
+
+For comparing against SINR diagrams we also need reception at arbitrary
+*points* of the plane (the receiver ``p`` of Figures 1–4 is not itself a
+station): a point hears a transmitter if it lies within the transmitter's
+disk and within no other concurrently transmitting station's disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..exceptions import NetworkConfigurationError
+from ..geometry.point import Point
+from ..model.network import WirelessNetwork
+
+__all__ = ["UnitDiskGraph"]
+
+
+@dataclass(frozen=True)
+class UnitDiskGraph:
+    """The unit disk graph of a set of station locations.
+
+    Attributes:
+        locations: station positions.
+        radius: transmission/reception radius (1.0 for the classic UDG).
+    """
+
+    locations: Tuple[Point, ...]
+    radius: float = 1.0
+
+    def __init__(self, locations: Sequence[Point], radius: float = 1.0):
+        if len(locations) < 1:
+            raise NetworkConfigurationError("a UDG needs at least one station")
+        if radius <= 0.0:
+            raise NetworkConfigurationError(f"UDG radius must be positive, got {radius}")
+        object.__setattr__(self, "locations", tuple(locations))
+        object.__setattr__(self, "radius", float(radius))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_network(network: WirelessNetwork, radius: float = 1.0) -> "UnitDiskGraph":
+        """Build the UDG over the stations of a wireless network."""
+        return UnitDiskGraph(locations=network.locations(), radius=radius)
+
+    # ------------------------------------------------------------------
+    # Graph structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.locations)
+
+    @cached_property
+    def graph(self) -> nx.Graph:
+        """The UDG as a :class:`networkx.Graph` (nodes are station indices)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(len(self.locations)))
+        for i in range(len(self.locations)):
+            for j in range(i + 1, len(self.locations)):
+                if self.locations[i].distance_to(self.locations[j]) <= self.radius:
+                    graph.add_edge(i, j)
+        return graph
+
+    def are_adjacent(self, i: int, j: int) -> bool:
+        """True if stations ``i`` and ``j`` are within the transmission radius."""
+        if i == j:
+            return False
+        return self.locations[i].distance_to(self.locations[j]) <= self.radius
+
+    def neighbours(self, index: int) -> List[int]:
+        """Indices of all stations adjacent to station ``index``."""
+        return sorted(self.graph.neighbors(index))
+
+    def degree(self, index: int) -> int:
+        """Number of neighbours of station ``index``."""
+        return self.graph.degree[index]
+
+    def is_connected(self) -> bool:
+        """True if the UDG is connected."""
+        return nx.is_connected(self.graph)
+
+    def independent_transmitters(self, transmitters: Iterable[int]) -> bool:
+        """True if no two of the given transmitters are adjacent.
+
+        Under the graph rule a set of mutually non-adjacent transmitters can
+        transmit without colliding at any common neighbour, which is the
+        premise of UDG-based scheduling.
+        """
+        active = list(transmitters)
+        for position, first in enumerate(active):
+            for second in active[position + 1 :]:
+                if self.are_adjacent(first, second):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Reception (the graph rule of the paper's introduction)
+    # ------------------------------------------------------------------
+    def station_receives(
+        self, receiver: int, sender: int, transmitters: Iterable[int]
+    ) -> bool:
+        """Graph-rule reception at a *station*.
+
+        Station ``receiver`` receives from ``sender`` iff they are adjacent,
+        ``sender`` is transmitting, and no other transmitting station is
+        adjacent to ``receiver``.
+        """
+        transmitting = set(transmitters)
+        if sender not in transmitting or not self.are_adjacent(receiver, sender):
+            return False
+        for other in transmitting:
+            if other == sender or other == receiver:
+                continue
+            if self.are_adjacent(receiver, other):
+                return False
+        return True
+
+    def point_receives(
+        self, point: Point, sender: int, transmitters: Iterable[int]
+    ) -> bool:
+        """Graph-rule reception at an arbitrary point of the plane.
+
+        The point hears ``sender`` iff it lies within the sender's disk and
+        within no other concurrently transmitting station's disk.  This is the
+        per-point rule used for the UDG halves of Figures 2–4.
+        """
+        transmitting = set(transmitters)
+        if sender not in transmitting:
+            return False
+        if self.locations[sender].distance_to(point) > self.radius:
+            return False
+        for other in transmitting:
+            if other == sender:
+                continue
+            if self.locations[other].distance_to(point) <= self.radius:
+                return False
+        return True
+
+    def station_heard_at(
+        self, point: Point, transmitters: Optional[Iterable[int]] = None
+    ) -> Optional[int]:
+        """The unique transmitter heard at ``point`` under the graph rule, or None."""
+        transmitting: Set[int] = (
+            set(range(len(self.locations)))
+            if transmitters is None
+            else set(transmitters)
+        )
+        covering = [
+            index
+            for index in transmitting
+            if self.locations[index].distance_to(point) <= self.radius
+        ]
+        if len(covering) == 1:
+            return covering[0]
+        return None
+
+    def reception_zone_indicator(
+        self, index: int, transmitters: Optional[Iterable[int]] = None
+    ):
+        """The reception zone of station ``index`` as a point predicate."""
+        transmitting = (
+            set(range(len(self.locations)))
+            if transmitters is None
+            else set(transmitters)
+        )
+
+        def predicate(point: Point) -> bool:
+            return self.point_receives(point, index, transmitting)
+
+        return predicate

@@ -1,0 +1,50 @@
+"""The SINR core: stations, networks, reception zones and SINR diagrams.
+
+This package is the paper's primary contribution realised as a library: the
+SINR model of Section 2.2 (:class:`WirelessNetwork`), the reception zones
+``H_i`` whose convexity and fatness the paper proves
+(:class:`ReceptionZone`), and the SINR diagram that partitions the plane into
+reception zones (:class:`SINRDiagram`).
+"""
+
+from .diagram import NO_RECEPTION, RasterDiagram, SINRDiagram
+from .network import DEFAULT_ALPHA, DEFAULT_BETA, WirelessNetwork
+from .onedim import (
+    OneDimensionalReception,
+    colinear_reception_interval,
+    is_positive_colinear,
+    two_station_fatness_ratio,
+    two_station_reception_interval,
+)
+from .reception import ReceptionZone
+from .sinr import (
+    interference,
+    received_energy,
+    sinr_map,
+    sinr_ratio,
+    strongest_station_map,
+    total_energy,
+)
+from .station import Station
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "DEFAULT_BETA",
+    "NO_RECEPTION",
+    "OneDimensionalReception",
+    "RasterDiagram",
+    "ReceptionZone",
+    "SINRDiagram",
+    "Station",
+    "WirelessNetwork",
+    "colinear_reception_interval",
+    "is_positive_colinear",
+    "two_station_fatness_ratio",
+    "two_station_reception_interval",
+    "interference",
+    "received_energy",
+    "sinr_map",
+    "sinr_ratio",
+    "strongest_station_map",
+    "total_energy",
+]

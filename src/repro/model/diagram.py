@@ -1,0 +1,233 @@
+"""SINR diagrams: the reception map of a whole network.
+
+An SINR diagram partitions the plane into one reception zone per station plus
+the null zone ``H_empty`` where no station is heard (Section 1.1).  The
+:class:`SINRDiagram` exposes:
+
+* per-station :class:`~repro.model.reception.ReceptionZone` objects,
+* point queries ("which station, if any, is heard here?"),
+* a vectorised raster labelling over a bounding box (the numerical procedure
+  behind the paper's Figures 1–5),
+* summary statistics (areas, fatness, coverage fraction) used by the
+  experiment harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DiagramError
+from ..geometry.point import Point
+from .network import WirelessNetwork
+from .reception import ReceptionZone
+from .sinr import sinr_map
+
+__all__ = ["SINRDiagram", "RasterDiagram"]
+
+#: Label used in raster maps for points where no station is heard.
+NO_RECEPTION = -1
+
+
+@dataclass(frozen=True)
+class RasterDiagram:
+    """A rasterised SINR diagram over an axis-aligned bounding box.
+
+    Attributes:
+        xs, ys: 1-d coordinate arrays of the pixel centres.
+        labels: 2-d integer array (``shape = (len(ys), len(xs))``); entry
+            ``labels[r, c]`` is the index of the station heard at pixel
+            ``(xs[c], ys[r])`` or ``NO_RECEPTION``.
+        sinr_values: 3-d float array of per-station SINR values with shape
+            ``(n_stations, len(ys), len(xs))``.
+    """
+
+    xs: np.ndarray
+    ys: np.ndarray
+    labels: np.ndarray
+    sinr_values: np.ndarray
+
+    @property
+    def resolution(self) -> Tuple[int, int]:
+        """``(rows, columns)`` of the raster."""
+        return (len(self.ys), len(self.xs))
+
+    def pixel_area(self) -> float:
+        """Area represented by a single pixel."""
+        dx = self.xs[1] - self.xs[0] if len(self.xs) > 1 else 0.0
+        dy = self.ys[1] - self.ys[0] if len(self.ys) > 1 else 0.0
+        return float(dx * dy)
+
+    def zone_area(self, index: int) -> float:
+        """Estimated area of the reception zone of station ``index``."""
+        return float(np.count_nonzero(self.labels == index)) * self.pixel_area()
+
+    def coverage_fraction(self) -> float:
+        """Fraction of the raster where some station is heard."""
+        return float(np.count_nonzero(self.labels != NO_RECEPTION)) / self.labels.size
+
+    def label_at(self, point: Point) -> int:
+        """Raster label at the pixel containing ``point``."""
+        column = int(np.clip(np.searchsorted(self.xs, point.x), 0, len(self.xs) - 1))
+        row = int(np.clip(np.searchsorted(self.ys, point.y), 0, len(self.ys) - 1))
+        return int(self.labels[row, column])
+
+
+@dataclass(frozen=True)
+class SINRDiagram:
+    """The SINR diagram (reception map) of a wireless network."""
+
+    network: WirelessNetwork
+
+    # ------------------------------------------------------------------
+    # Zones
+    # ------------------------------------------------------------------
+    @cached_property
+    def zones(self) -> Tuple[ReceptionZone, ...]:
+        """One reception zone per station, in station order."""
+        return tuple(
+            ReceptionZone(network=self.network, index=index)
+            for index in range(len(self.network))
+        )
+
+    def zone(self, index: int) -> ReceptionZone:
+        """The reception zone of station ``index``."""
+        return self.zones[index]
+
+    def __len__(self) -> int:
+        return len(self.network)
+
+    # ------------------------------------------------------------------
+    # Point queries
+    # ------------------------------------------------------------------
+    def station_heard_at(self, point: Point) -> Optional[int]:
+        """The station heard at ``point``, or None (the null zone ``H_empty``).
+
+        When ``beta >= 1`` at most one station can be heard at any point; for
+        ``beta < 1`` (allowed so that Figure 5 can be reproduced) several
+        stations may qualify, in which case the one with the highest SINR is
+        reported.
+        """
+        candidates = [
+            index
+            for index in range(len(self.network))
+            if self.network.is_received(index, point)
+        ]
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        return max(candidates, key=lambda index: self.network.sinr(index, point))
+
+    def reception_vector(self, point: Point) -> List[bool]:
+        """Reception indicator of every station at ``point``."""
+        return [
+            self.network.is_received(index, point)
+            for index in range(len(self.network))
+        ]
+
+    # ------------------------------------------------------------------
+    # Rasterisation (numerically generated diagrams, as in the figures)
+    # ------------------------------------------------------------------
+    def rasterize(
+        self,
+        lower_left: Point,
+        upper_right: Point,
+        resolution: int = 200,
+    ) -> RasterDiagram:
+        """Label every pixel of a bounding box with the station heard there.
+
+        Args:
+            lower_left, upper_right: corners of the bounding box.
+            resolution: number of pixels along the longer side; the shorter
+                side is scaled to keep pixels square.
+
+        Raises:
+            DiagramError: if the box is empty or the resolution is too small.
+        """
+        width = upper_right.x - lower_left.x
+        height = upper_right.y - lower_left.y
+        if width <= 0.0 or height <= 0.0:
+            raise DiagramError("rasterize() requires a non-empty bounding box")
+        if resolution < 2:
+            raise DiagramError("rasterize() requires resolution >= 2")
+
+        if width >= height:
+            columns = resolution
+            rows = max(2, int(round(resolution * height / width)))
+        else:
+            rows = resolution
+            columns = max(2, int(round(resolution * width / height)))
+
+        xs = np.linspace(lower_left.x, upper_right.x, columns)
+        ys = np.linspace(lower_left.y, upper_right.y, rows)
+        grid_x, grid_y = np.meshgrid(xs, ys)
+
+        coordinates = self.network.coordinates_array()
+        powers = self.network.powers_array()
+        n = len(self.network)
+
+        sinr_values = np.empty((n, rows, columns), dtype=float)
+        for index in range(n):
+            sinr_values[index] = sinr_map(
+                coordinates,
+                powers,
+                index,
+                grid_x,
+                grid_y,
+                self.network.noise,
+                self.network.alpha,
+            )
+
+        received = sinr_values >= self.network.beta
+        best = np.argmax(sinr_values, axis=0)
+        any_received = received.any(axis=0)
+        labels = np.where(any_received, best, NO_RECEPTION)
+        return RasterDiagram(xs=xs, ys=ys, labels=labels, sinr_values=sinr_values)
+
+    def default_bounding_box(self, margin: float = 1.5) -> Tuple[Point, Point]:
+        """A bounding box comfortably containing every bounded reception zone.
+
+        The box covers all stations expanded by ``margin`` times the largest
+        zone radius bound (or the station spread, whichever is larger).
+        """
+        locations = self.network.locations()
+        xs = [p.x for p in locations]
+        ys = [p.y for p in locations]
+        spread = max(max(xs) - min(xs), max(ys) - min(ys), 1.0)
+        pad = margin * spread
+        return (
+            Point(min(xs) - pad, min(ys) - pad),
+            Point(max(xs) + pad, max(ys) + pad),
+        )
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    def summary(self, resolution: int = 300) -> Dict[str, object]:
+        """Coarse summary of the diagram (zone areas, coverage, fatness).
+
+        Used by the experiment harness and examples for quick reporting; all
+        quantities are raster estimates.
+        """
+        lower_left, upper_right = self.default_bounding_box()
+        raster = self.rasterize(lower_left, upper_right, resolution=resolution)
+        zone_areas = {
+            index: raster.zone_area(index) for index in range(len(self.network))
+        }
+        fatness: Dict[int, float] = {}
+        for index, zone in enumerate(self.zones):
+            if zone.is_degenerate or self.network.is_trivial():
+                fatness[index] = math.nan
+            else:
+                fatness[index] = zone.fatness(angles=90).fatness
+        return {
+            "network": self.network.describe(),
+            "zone_areas": zone_areas,
+            "coverage_fraction": raster.coverage_fraction(),
+            "fatness": fatness,
+        }

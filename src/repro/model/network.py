@@ -1,0 +1,346 @@
+"""Wireless networks ``A = <S, psi, N, beta>`` (Section 2.2 of the paper).
+
+The :class:`WirelessNetwork` bundles the station set with the background
+noise, the reception threshold, and the path-loss exponent, and exposes the
+SINR arithmetic, the reception predicate, the reception polynomial of eq. (2)
+and the Lemma 2.3 transformation rule.  Networks are immutable; modifications
+(silencing a station, moving one, adding one) return new networks, which is
+how the library reproduces the step-by-step scenarios of Figures 1–4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..algebra.reception import ReceptionPolynomial
+from ..exceptions import NetworkConfigurationError
+from ..geometry.kdtree import KDTree
+from ..geometry.point import Point, as_point
+from ..geometry.transform import SimilarityTransform
+from ..geometry.voronoi import VoronoiDiagram
+from .sinr import interference, received_energy, sinr_ratio
+from .station import Station
+
+__all__ = ["WirelessNetwork"]
+
+#: The "textbook" path-loss exponent assumed by the paper's theorems.
+DEFAULT_ALPHA = 2.0
+
+#: The paper notes beta is typically around 6 and always assumed > 1.
+DEFAULT_BETA = 6.0
+
+
+@dataclass(frozen=True)
+class WirelessNetwork:
+    """An immutable wireless network ``<S, psi, N, beta>`` with path loss ``alpha``.
+
+    Attributes:
+        stations: the transmitting stations (at least two, per the paper).
+        noise: background noise ``N >= 0``.
+        beta: reception threshold (the paper assumes ``beta >= 1`` for its
+            structural theorems; the class allows smaller values so that the
+            non-convex regime of Figure 5 can be reproduced).
+        alpha: path-loss exponent (structural theorems require ``alpha = 2``).
+    """
+
+    stations: Tuple[Station, ...]
+    noise: float = 0.0
+    beta: float = DEFAULT_BETA
+    alpha: float = DEFAULT_ALPHA
+
+    def __init__(
+        self,
+        stations: Sequence[Station],
+        noise: float = 0.0,
+        beta: float = DEFAULT_BETA,
+        alpha: float = DEFAULT_ALPHA,
+    ):
+        if len(stations) < 2:
+            raise NetworkConfigurationError(
+                f"a wireless network needs at least two stations, got {len(stations)}"
+            )
+        if noise < 0.0:
+            raise NetworkConfigurationError(f"noise must be non-negative, got {noise}")
+        if beta <= 0.0:
+            raise NetworkConfigurationError(f"beta must be positive, got {beta}")
+        if alpha <= 0.0:
+            raise NetworkConfigurationError(f"alpha must be positive, got {alpha}")
+        object.__setattr__(self, "stations", tuple(stations))
+        object.__setattr__(self, "noise", float(noise))
+        object.__setattr__(self, "beta", float(beta))
+        object.__setattr__(self, "alpha", float(alpha))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def uniform(
+        points: Sequence[Point | Tuple[float, float]],
+        noise: float = 0.0,
+        beta: float = DEFAULT_BETA,
+        alpha: float = DEFAULT_ALPHA,
+    ) -> "WirelessNetwork":
+        """A uniform power network (every station transmits with power 1)."""
+        return WirelessNetwork(
+            stations=Station.from_points(points),
+            noise=noise,
+            beta=beta,
+            alpha=alpha,
+        )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.stations)
+
+    def station(self, index: int) -> Station:
+        return self.stations[index]
+
+    def locations(self) -> List[Point]:
+        """Locations of every station, in index order."""
+        return [station.location for station in self.stations]
+
+    def powers(self) -> List[float]:
+        """Transmission powers of every station, in index order."""
+        return [station.power for station in self.stations]
+
+    def coordinates_array(self) -> np.ndarray:
+        """Station coordinates as an ``(n, 2)`` numpy array."""
+        return np.array([[s.x, s.y] for s in self.stations], dtype=float)
+
+    def powers_array(self) -> np.ndarray:
+        """Transmission powers as an ``(n,)`` numpy array."""
+        return np.array(self.powers(), dtype=float)
+
+    def is_uniform_power(self) -> bool:
+        """True if every station transmits with power 1 (``psi = 1-bar``)."""
+        return all(station.power == 1.0 for station in self.stations)
+
+    def is_trivial(self) -> bool:
+        """True for the paper's *trivial* network: 2 stations, N = 0, beta = 1.
+
+        In a trivial uniform power network the reception zones are half-planes
+        and in particular unbounded; every structural statement in the paper
+        excludes this case explicitly.
+        """
+        return (
+            len(self.stations) == 2
+            and self.noise == 0.0
+            and self.beta == 1.0
+            and self.is_uniform_power()
+        )
+
+    def location_is_shared(self, index: int) -> bool:
+        """True if another station occupies the same location as station ``index``.
+
+        When this happens the reception zone degenerates to the single point
+        ``{s_i}`` (Section 3.1).
+        """
+        target = self.stations[index].location
+        return any(
+            i != index and station.location == target
+            for i, station in enumerate(self.stations)
+        )
+
+    def minimum_distance_from(self, index: int) -> float:
+        """``kappa``: the minimum distance from station ``index`` to any other station."""
+        target = self.stations[index].location
+        return min(
+            station.location.distance_to(target)
+            for i, station in enumerate(self.stations)
+            if i != index
+        )
+
+    # ------------------------------------------------------------------
+    # SINR arithmetic
+    # ------------------------------------------------------------------
+    def energy(self, index: int, point: Point) -> float:
+        """Energy of station ``index`` at ``point`` (``inf`` at the station itself)."""
+        station = self.stations[index]
+        return received_energy(station.location, station.power, point, self.alpha)
+
+    def interference(self, index: int, point: Point) -> float:
+        """Interference to station ``index`` at ``point``."""
+        return interference(
+            self.locations(), self.powers(), index, point, self.alpha
+        )
+
+    def sinr(self, index: int, point: Point) -> float:
+        """The SINR of station ``index`` at ``point`` (undefined at stations)."""
+        return sinr_ratio(
+            self.locations(), self.powers(), index, point, self.noise, self.alpha
+        )
+
+    def is_received(self, index: int, point: Point) -> bool:
+        """The fundamental reception rule: ``SINR(s_i, p) >= beta``.
+
+        The reception zone includes the station location itself by definition
+        even though the SINR ratio is undefined there.
+        """
+        station = self.stations[index]
+        if point == station.location:
+            return True
+        for other_index, other in enumerate(self.stations):
+            if other.location == point:
+                # A point occupied by another station hears nothing but that
+                # station's own transmission (SINR to others is zero there).
+                return other_index == index
+        return self.sinr(index, point) >= self.beta
+
+    def strongest_station(self, point: Point) -> int:
+        """Index of the station with the highest received energy at ``point``."""
+        best_index = 0
+        best_energy = -math.inf
+        for index in range(len(self.stations)):
+            energy = self.energy(index, point)
+            if energy > best_energy:
+                best_energy = energy
+                best_index = index
+        return best_index
+
+    def heard_station(self, point: Point) -> Optional[int]:
+        """Index of the station heard at ``point``, or None.
+
+        At most one station can be heard at any point when ``beta >= 1``
+        (its SINR being at least 1 forces every other station's SINR below 1).
+        """
+        for index in range(len(self.stations)):
+            if self.is_received(index, point):
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def reception_polynomial(self, index: int) -> ReceptionPolynomial:
+        """The reception polynomial ``H(x, y)`` of station ``index`` (eq. (2)).
+
+        Only defined for ``alpha = 2``, where reception is a polynomial
+        inequality.
+        """
+        if self.alpha != 2.0:
+            raise NetworkConfigurationError(
+                "the reception polynomial is only defined for alpha = 2"
+            )
+        return ReceptionPolynomial(
+            target_index=index,
+            stations=self.locations(),
+            powers=self.powers(),
+            noise=self.noise,
+            beta=self.beta,
+        )
+
+    def voronoi_diagram(self) -> VoronoiDiagram:
+        """Voronoi diagram of the station locations (Observation 2.2)."""
+        return VoronoiDiagram(self.locations())
+
+    def station_kdtree(self) -> KDTree:
+        """A k-d tree over station locations for nearest-station queries."""
+        return KDTree(self.locations())
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new networks)
+    # ------------------------------------------------------------------
+    def transformed(self, transform: SimilarityTransform) -> "WirelessNetwork":
+        """Apply a similarity transform per Lemma 2.3.
+
+        Station locations are mapped through ``transform`` and the noise is
+        divided by the square of the scale factor, so that every SINR value is
+        preserved: ``SINR_A(s_i, p) = SINR_f(A)(f(s_i), f(p))``.
+        """
+        new_stations = tuple(
+            station.moved_to(transform.apply(station.location))
+            for station in self.stations
+        )
+        return WirelessNetwork(
+            stations=new_stations,
+            noise=self.noise / transform.noise_factor(),
+            beta=self.beta,
+            alpha=self.alpha,
+        )
+
+    def without_station(self, index: int) -> "WirelessNetwork":
+        """The network with station ``index`` silenced (removed)."""
+        remaining = tuple(
+            station for i, station in enumerate(self.stations) if i != index
+        )
+        return WirelessNetwork(
+            stations=remaining, noise=self.noise, beta=self.beta, alpha=self.alpha
+        )
+
+    def with_station(self, station: Station) -> "WirelessNetwork":
+        """The network with one extra transmitting station."""
+        return WirelessNetwork(
+            stations=self.stations + (station,),
+            noise=self.noise,
+            beta=self.beta,
+            alpha=self.alpha,
+        )
+
+    def with_station_moved(self, index: int, location: Point) -> "WirelessNetwork":
+        """The network with station ``index`` relocated (Figure 1(B))."""
+        stations = list(self.stations)
+        stations[index] = stations[index].moved_to(location)
+        return WirelessNetwork(
+            stations=tuple(stations), noise=self.noise, beta=self.beta, alpha=self.alpha
+        )
+
+    def with_noise(self, noise: float) -> "WirelessNetwork":
+        """The network with a different background noise."""
+        return WirelessNetwork(
+            stations=self.stations, noise=noise, beta=self.beta, alpha=self.alpha
+        )
+
+    def with_beta(self, beta: float) -> "WirelessNetwork":
+        """The network with a different reception threshold."""
+        return WirelessNetwork(
+            stations=self.stations, noise=self.noise, beta=beta, alpha=self.alpha
+        )
+
+    def noise_folded_into_station(self, index: int) -> "WirelessNetwork":
+        """Replace the background noise by an equivalent extra station.
+
+        Section 3.4 / Section 4.1 trick: a station of power ``N * kappa^2``
+        placed at the nearest other station's location produces energy exactly
+        ``N`` at distance ``kappa`` from station ``index``; the analysis of
+        the noisy network reduces to a noise-free network with one more
+        station.  Returns an (n+1)-station noise-free network; if the noise is
+        already zero the network is returned unchanged.
+        """
+        if self.noise == 0.0:
+            return self
+        kappa = self.minimum_distance_from(index)
+        nearest = min(
+            (
+                (station.location.distance_to(self.stations[index].location), i)
+                for i, station in enumerate(self.stations)
+                if i != index
+            ),
+        )[1]
+        extra = Station(
+            location=self.stations[nearest].location,
+            power=self.noise * kappa * kappa,
+            name="noise",
+        )
+        return WirelessNetwork(
+            stations=self.stations + (extra,),
+            noise=0.0,
+            beta=self.beta,
+            alpha=self.alpha,
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """A short human-readable summary of the network configuration."""
+        kind = "uniform" if self.is_uniform_power() else "general"
+        return (
+            f"{kind} power network with {len(self.stations)} stations, "
+            f"noise={self.noise:g}, beta={self.beta:g}, alpha={self.alpha:g}"
+        )

@@ -1,0 +1,233 @@
+"""Reception zones ``H_i`` of an SINR diagram.
+
+The reception zone of station ``s_i`` is the set of points where its SINR is
+at least ``beta``, together with the station location itself (Section 2.2).
+For non-trivial uniform power networks the zone is compact and strictly
+contained in the Voronoi cell of its station (Observation 2.2), and for
+``alpha = 2`` and ``beta >= 1`` it is convex (Theorem 1) and fat (Theorem 2).
+
+:class:`ReceptionZone` wraps a network and a station index and provides the
+membership predicate, boundary probing along rays (valid because the zone is
+star-shaped with respect to its station, Lemma 3.1), polygonal boundary
+approximation, and area / perimeter / fatness estimates built on it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..algebra.reception import ReceptionPolynomial
+from ..exceptions import NetworkConfigurationError
+from ..geometry.fatness import FatnessMeasurement
+from ..geometry.point import Point
+from ..geometry.polygon import Polygon
+from .network import WirelessNetwork
+
+__all__ = ["ReceptionZone"]
+
+
+@dataclass(frozen=True)
+class ReceptionZone:
+    """The reception zone ``H_i`` of one station of a wireless network."""
+
+    network: WirelessNetwork
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < len(self.network):
+            raise NetworkConfigurationError(
+                f"station index {self.index} out of range for network of size "
+                f"{len(self.network)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    @property
+    def station_location(self) -> Point:
+        """Location of the zone's station."""
+        return self.network.station(self.index).location
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when another station shares the location (zone = single point)."""
+        return self.network.location_is_shared(self.index)
+
+    @property
+    def is_bounded(self) -> bool:
+        """True unless the network is trivial (Observation 2.2)."""
+        return not self.network.is_trivial()
+
+    @cached_property
+    def polynomial(self) -> ReceptionPolynomial:
+        """The reception polynomial ``H`` of this zone (requires ``alpha = 2``)."""
+        return self.network.reception_polynomial(self.index)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def contains(self, point: Point) -> bool:
+        """Membership test: is the station heard at ``point``?"""
+        return self.network.is_received(self.index, point)
+
+    def __contains__(self, point: Point) -> bool:
+        return self.contains(point)
+
+    def sinr_at(self, point: Point) -> float:
+        """SINR of the zone's station at ``point`` (undefined at stations)."""
+        return self.network.sinr(self.index, point)
+
+    def membership_predicate(self) -> Callable[[Point], bool]:
+        """The zone as a bare predicate (used by generic geometry checkers)."""
+        return self.contains
+
+    # ------------------------------------------------------------------
+    # Boundary probing (star-shape based)
+    # ------------------------------------------------------------------
+    def search_radius(self) -> float:
+        """A radius guaranteed to contain the zone, centred at the station.
+
+        For degenerate zones this is 0.  For bounded zones we use the explicit
+        upper bound of Theorem 4.1 when ``beta > 1``; otherwise we fall back
+        to a generous multiple of the distance to the nearest station, grown
+        until the boundary is bracketed.
+        """
+        if self.is_degenerate:
+            return 0.0
+        kappa = self.network.minimum_distance_from(self.index)
+        beta = self.network.beta
+        noise = self.network.noise
+        if beta > 1.0:
+            return kappa / (math.sqrt(beta * (1.0 + noise * kappa * kappa)) - 1.0)
+        # beta <= 1: the theorem's bound does not apply; grow a radius until
+        # the point straight ahead is out of the zone (or give up and cap).
+        radius = 4.0 * kappa
+        center = self.station_location
+        for _ in range(60):
+            if not self.contains(Point(center.x - radius, center.y)):
+                return radius
+            radius *= 2.0
+        return radius
+
+    def boundary_distance_along_ray(
+        self,
+        angle: float,
+        max_radius: Optional[float] = None,
+        tolerance: float = 1e-10,
+    ) -> float:
+        """Distance from the station to the zone boundary along a ray.
+
+        Lemma 3.1 (star shape): along any ray from the station the zone is an
+        interval starting at the station, so the boundary distance is found by
+        bisection.  ``max_radius`` defaults to :meth:`search_radius`.
+        """
+        if self.is_degenerate:
+            return 0.0
+        center = self.station_location
+        direction = Point(math.cos(angle), math.sin(angle))
+        high = max_radius if max_radius is not None else self.search_radius()
+        if high <= 0.0:
+            return 0.0
+        if self.contains(center + direction * high):
+            # Unbounded (trivial network) or max_radius underestimated; extend.
+            for _ in range(60):
+                high *= 2.0
+                if not self.contains(center + direction * high):
+                    break
+            else:
+                return math.inf
+        low = 0.0
+        while high - low > tolerance * max(1.0, high):
+            middle = (low + high) / 2.0
+            if self.contains(center + direction * middle):
+                low = middle
+            else:
+                high = middle
+        return (low + high) / 2.0
+
+    def boundary_point_along_ray(
+        self, angle: float, max_radius: Optional[float] = None
+    ) -> Point:
+        """The boundary point in direction ``angle`` from the station."""
+        distance = self.boundary_distance_along_ray(angle, max_radius)
+        center = self.station_location
+        return Point(
+            center.x + distance * math.cos(angle),
+            center.y + distance * math.sin(angle),
+        )
+
+    def boundary_polygon(self, vertices: int = 180) -> Polygon:
+        """A polygonal approximation of the zone boundary.
+
+        The polygon connects the boundary points along ``vertices`` equally
+        spaced rays from the station.  For convex zones the polygon is an
+        inscribed approximation whose area converges to the zone area.
+
+        Raises:
+            NetworkConfigurationError: for degenerate zones (single points).
+        """
+        if self.is_degenerate:
+            raise NetworkConfigurationError(
+                "a degenerate reception zone has no boundary polygon"
+            )
+        if vertices < 3:
+            raise NetworkConfigurationError("boundary_polygon() needs >= 3 vertices")
+        max_radius = self.search_radius()
+        points = [
+            self.boundary_point_along_ray(2.0 * math.pi * k / vertices, max_radius)
+            for k in range(vertices)
+        ]
+        return Polygon(points)
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    def inscribed_radius(self, angles: int = 360) -> float:
+        """``delta(s_i, H_i)``: radius of the largest centred inscribed ball."""
+        if self.is_degenerate:
+            return 0.0
+        max_radius = self.search_radius()
+        return min(
+            self.boundary_distance_along_ray(2.0 * math.pi * k / angles, max_radius)
+            for k in range(angles)
+        )
+
+    def enclosing_radius(self, angles: int = 360) -> float:
+        """``Delta(s_i, H_i)``: radius of the smallest centred enclosing ball."""
+        if self.is_degenerate:
+            return 0.0
+        max_radius = self.search_radius()
+        return max(
+            self.boundary_distance_along_ray(2.0 * math.pi * k / angles, max_radius)
+            for k in range(angles)
+        )
+
+    def fatness(self, angles: int = 360) -> FatnessMeasurement:
+        """The measured fatness parameters ``(delta, Delta, phi)`` of the zone."""
+        if self.is_degenerate:
+            return FatnessMeasurement(
+                center=self.station_location, delta=0.0, Delta=0.0
+            )
+        max_radius = self.search_radius()
+        radii = [
+            self.boundary_distance_along_ray(2.0 * math.pi * k / angles, max_radius)
+            for k in range(angles)
+        ]
+        return FatnessMeasurement(
+            center=self.station_location, delta=min(radii), Delta=max(radii)
+        )
+
+    def area_estimate(self, vertices: int = 720) -> float:
+        """Area of the zone, estimated from the boundary polygon."""
+        if self.is_degenerate:
+            return 0.0
+        return self.boundary_polygon(vertices).area()
+
+    def perimeter_estimate(self, vertices: int = 720) -> float:
+        """Perimeter of the zone, estimated from the boundary polygon."""
+        if self.is_degenerate:
+            return 0.0
+        return self.boundary_polygon(vertices).perimeter()

@@ -1,0 +1,49 @@
+"""Approximate point location in SINR diagrams (Theorem 3 of the paper).
+
+The package contains every layer of the construction: the radius bounds of
+Theorem 4.1 and their Section-5.2 improvement, the Sturm-based segment test,
+the Boundary Reconstruction Process (plus a ray-sweep ablation), the
+per-station grid structure QDS, the combined nearest-station-fronted
+structure DS, and the naive exact baselines it is benchmarked against.
+"""
+
+from .bounds import (
+    RadiusBounds,
+    explicit_radius_bounds,
+    improved_radius_bounds,
+    measured_radius_bounds,
+    radius_bounds,
+)
+from .brp import BoundaryCover, ray_sweep_boundary_cells, reconstruct_boundary_cells
+from .ds import PointLocationAnswer, PointLocationStructure, PreprocessingReport
+from .naive import BruteForceLocator, VoronoiCandidateLocator
+from .qds import QDSBuildReport, ZoneGridIndex, ZoneLabel
+from .segment_test import (
+    SamplingSegmentTest,
+    SegmentTest,
+    SegmentTestResult,
+    SturmSegmentTest,
+)
+
+__all__ = [
+    "BoundaryCover",
+    "BruteForceLocator",
+    "PointLocationAnswer",
+    "PointLocationStructure",
+    "PreprocessingReport",
+    "QDSBuildReport",
+    "RadiusBounds",
+    "SamplingSegmentTest",
+    "SegmentTest",
+    "SegmentTestResult",
+    "SturmSegmentTest",
+    "VoronoiCandidateLocator",
+    "ZoneGridIndex",
+    "ZoneLabel",
+    "explicit_radius_bounds",
+    "improved_radius_bounds",
+    "measured_radius_bounds",
+    "radius_bounds",
+    "ray_sweep_boundary_cells",
+    "reconstruct_boundary_cells",
+]

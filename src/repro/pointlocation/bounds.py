@@ -1,0 +1,263 @@
+"""Radius bounds for reception zones (Theorem 4.1 and Section 5.2).
+
+The point-location preprocessing needs a lower bound ``delta_tilde`` on the
+inscribed radius and an upper bound ``Delta_tilde`` on the enclosing radius of
+the target zone.  The paper provides two levels of bounds:
+
+* **Explicit bounds (Theorem 4.1).**  With ``kappa`` the distance from the
+  station to its nearest neighbour,
+
+      delta >= kappa / (sqrt(beta * (n - 1 + N * kappa^2)) + 1)
+      Delta <= kappa / (sqrt(beta * (1 + N * kappa^2)) - 1)
+
+  giving a fatness ratio of ``O(sqrt(n))``.
+
+* **Improved bounds (Section 5.2).**  Theorem 4.2 bounds the fatness by the
+  constant ``c = (sqrt(beta)+1)/(sqrt(beta)-1)``, so once any boundary
+  distance ``r`` is known (found by a binary-search style probe of the SINR
+  function along a ray), both radii are ``Theta(r)``:
+  ``delta >= r / c`` and ``Delta <= c * r``.  The probe costs ``O(n log n)``
+  time and shrinks the ratio ``Delta_tilde / delta_tilde`` from
+  ``O(sqrt(n))`` to ``O(1)``, which is what makes the grid of the
+  point-location structure ``O(eps^-1)`` cells instead of ``O(n eps^-1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import PointLocationError
+from ..geometry.fatness import theoretical_fatness_bound
+from ..geometry.point import Point
+from ..geometry.polygon import Polygon
+from ..geometry.segment import Line, Segment
+from ..model.network import WirelessNetwork
+from ..model.reception import ReceptionZone
+
+__all__ = [
+    "RadiusBounds",
+    "explicit_radius_bounds",
+    "improved_radius_bounds",
+    "measured_radius_bounds",
+    "radius_bounds",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RadiusBounds:
+    """A certified sandwich ``delta_lower <= delta <= Delta <= Delta_upper``."""
+
+    delta_lower: float
+    Delta_upper: float
+
+    def __post_init__(self) -> None:
+        if self.delta_lower <= 0.0 or self.Delta_upper <= 0.0:
+            raise PointLocationError("radius bounds must be positive")
+        if self.delta_lower > self.Delta_upper:
+            raise PointLocationError(
+                "the lower bound on delta cannot exceed the upper bound on Delta"
+            )
+
+    @property
+    def ratio(self) -> float:
+        """The bound on the fatness ratio implied by the sandwich."""
+        return self.Delta_upper / self.delta_lower
+
+
+def explicit_radius_bounds(network: WirelessNetwork, index: int) -> RadiusBounds:
+    """The explicit bounds of Theorem 4.1 for station ``index``.
+
+    Requires a uniform power network with ``beta > 1`` whose station ``index``
+    does not share its location with another station.
+    """
+    _require_uniform_nondegenerate(network, index)
+    beta = network.beta
+    noise = network.noise
+    n = len(network)
+    kappa = network.minimum_distance_from(index)
+
+    delta_lower = kappa / (math.sqrt(beta * (n - 1 + noise * kappa * kappa)) + 1.0)
+    Delta_upper = kappa / (math.sqrt(beta * (1.0 + noise * kappa * kappa)) - 1.0)
+    return RadiusBounds(delta_lower=delta_lower, Delta_upper=Delta_upper)
+
+
+def improved_radius_bounds(
+    network: WirelessNetwork,
+    index: int,
+    probe_angle: float = math.pi / 2.0,
+    tolerance: float = 1e-9,
+) -> RadiusBounds:
+    """The ``Theta(r)`` bounds of Section 5.2 for station ``index``.
+
+    The boundary distance ``r`` along one ray (north of the station by
+    default) is located by bisection between the Theorem 4.1 bounds, then
+    widened by the Theorem 4.2 fatness constant ``c``:
+
+        delta >= r / c    and    Delta <= c * r.
+
+    The resulting ratio ``Delta_tilde / delta_tilde <= c^2`` is independent of
+    the number of stations.
+    """
+    _require_uniform_nondegenerate(network, index)
+    explicit = explicit_radius_bounds(network, index)
+    zone = ReceptionZone(network=network, index=index)
+    boundary_distance = zone.boundary_distance_along_ray(
+        probe_angle, max_radius=explicit.Delta_upper * 1.0000001, tolerance=tolerance
+    )
+    # Clamp into the certified sandwich to protect against probe tolerance.
+    boundary_distance = min(
+        max(boundary_distance, explicit.delta_lower), explicit.Delta_upper
+    )
+    fatness_constant = theoretical_fatness_bound(network.beta)
+    # Intersect with the explicit bounds: both are certified, so the tighter
+    # of each side is still a valid sandwich (for small n the Theorem 4.1
+    # bounds can be the sharper ones).
+    return RadiusBounds(
+        delta_lower=max(boundary_distance / fatness_constant, explicit.delta_lower),
+        Delta_upper=min(boundary_distance * fatness_constant, explicit.Delta_upper),
+    )
+
+
+def measured_radius_bounds(
+    network: WirelessNetwork,
+    index: int,
+    rays: int = 48,
+    tolerance: float = 1e-9,
+    safety_margin: float = 1e-3,
+) -> RadiusBounds:
+    """Geometry-measured bounds certified by convexity (an engineering refinement).
+
+    The paper's bounds (Theorem 4.1 and the Section-5.2 improvement) are what
+    the asymptotic analysis needs, but their constants are loose — the ratio
+    ``Delta_tilde / delta_tilde`` they certify is the fatness *bound*
+    ``c = (sqrt(beta)+1)/(sqrt(beta)-1)``, not the actual fatness of the zone.
+    Since the grid spacing is quadratic in that ratio, tighter bounds shrink
+    the structure (and its preprocessing time) dramatically without affecting
+    any guarantee.
+
+    This routine probes the boundary along ``rays`` equally spaced rays from
+    the station and certifies:
+
+    * ``delta_tilde``: the polygon through the probed boundary points is
+      inscribed in the (convex) zone, so its centred inradius — the minimum
+      distance from the station to a polygon edge — lower-bounds ``delta``;
+    * ``Delta_tilde``: at each probed boundary point the gradient of the
+      reception polynomial is an outward normal, so the corresponding tangent
+      half-plane contains the zone (supporting hyperplane of a convex set);
+      the maximum station-to-vertex distance of the intersection of those
+      half-planes upper-bounds ``Delta``.
+
+    Both sides are additionally intersected with the Theorem 4.1 bounds and
+    padded by ``safety_margin`` against floating-point slop.  Requires the
+    Theorem 1 regime (uniform power, ``beta > 1``, ``alpha = 2``).
+    """
+    _require_uniform_nondegenerate(network, index)
+    if rays < 8:
+        raise PointLocationError("measured_radius_bounds() needs at least 8 rays")
+    explicit = explicit_radius_bounds(network, index)
+    zone = ReceptionZone(network=network, index=index)
+    station = zone.station_location
+    polynomial = network.reception_polynomial(index)
+    max_radius = explicit.Delta_upper * 1.0000001
+
+    boundary_points = []
+    for k in range(rays):
+        angle = 2.0 * math.pi * k / rays
+        distance = zone.boundary_distance_along_ray(
+            angle, max_radius=max_radius, tolerance=tolerance
+        )
+        boundary_points.append(
+            Point(
+                station.x + distance * math.cos(angle),
+                station.y + distance * math.sin(angle),
+            )
+        )
+
+    # Lower bound on delta: centred inradius of the inscribed polygon.
+    inscribed = Polygon(boundary_points)
+    delta_lower = min(
+        edge.distance_to_point(station) for edge in inscribed.edges()
+    ) * (1.0 - safety_margin)
+
+    # Upper bound on Delta: intersection of tangent half-planes.
+    box_half_width = explicit.Delta_upper * 2.0
+    outer: Polygon | None = Polygon.axis_aligned_box(
+        Point(station.x - box_half_width, station.y - box_half_width),
+        Point(station.x + box_half_width, station.y + box_half_width),
+    )
+    for point in boundary_points:
+        normal = _outward_normal(polynomial, point, station)
+        tangent = Line(normal.x, normal.y, -(normal.x * point.x + normal.y * point.y))
+        keep_side = tangent.side(station)
+        if keep_side == 0 or outer is None:
+            continue
+        outer = outer.clip_to_half_plane(tangent, keep_side=keep_side)
+    if outer is None:
+        Delta_upper = explicit.Delta_upper
+    else:
+        Delta_upper = max(station.distance_to(v) for v in outer.vertices) * (
+            1.0 + safety_margin
+        )
+
+    delta_lower = max(min(delta_lower, explicit.Delta_upper), 0.0)
+    if delta_lower <= 0.0:
+        delta_lower = explicit.delta_lower
+    delta_lower = max(delta_lower, explicit.delta_lower)
+    Delta_upper = min(max(Delta_upper, delta_lower), explicit.Delta_upper)
+    return RadiusBounds(delta_lower=delta_lower, Delta_upper=Delta_upper)
+
+
+def radius_bounds(
+    network: WirelessNetwork, index: int, method: str = "measured"
+) -> RadiusBounds:
+    """Dispatch on the bound method: ``"explicit"``, ``"improved"`` or ``"measured"``."""
+    if method == "explicit":
+        return explicit_radius_bounds(network, index)
+    if method == "improved":
+        return improved_radius_bounds(network, index)
+    if method == "measured":
+        return measured_radius_bounds(network, index)
+    raise PointLocationError(f"unknown radius bound method: {method!r}")
+
+
+def _outward_normal(polynomial, point: Point, station: Point) -> Point:
+    """Unit outward normal of the zone boundary at ``point``.
+
+    Uses a central finite difference of the reception polynomial; falls back
+    to the radial direction from the station when the gradient is negligible
+    (e.g. at a tangential double root).
+    """
+    scale = max(1.0, station.distance_to(point))
+    step = 1e-7 * scale
+    gx = (
+        polynomial(point.x + step, point.y) - polynomial(point.x - step, point.y)
+    ) / (2.0 * step)
+    gy = (
+        polynomial(point.x, point.y + step) - polynomial(point.x, point.y - step)
+    ) / (2.0 * step)
+    gradient = Point(gx, gy)
+    norm = gradient.norm()
+    if norm <= 1e-12:
+        radial = point - station
+        radial_norm = radial.norm()
+        if radial_norm == 0.0:
+            return Point(1.0, 0.0)
+        return radial / radial_norm
+    return gradient / norm
+
+
+def _require_uniform_nondegenerate(network: WirelessNetwork, index: int) -> None:
+    """Validate the preconditions shared by both bound computations."""
+    if not network.is_uniform_power():
+        raise PointLocationError(
+            "the radius bounds of Theorem 4.1 require a uniform power network"
+        )
+    if network.beta <= 1.0:
+        raise PointLocationError(
+            "the radius bounds of Theorem 4.1 require beta > 1"
+        )
+    if network.location_is_shared(index):
+        raise PointLocationError(
+            "the reception zone is degenerate: another station shares the location"
+        )

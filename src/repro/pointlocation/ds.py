@@ -1,0 +1,206 @@
+"""The combined point-location structure DS of Theorem 3.
+
+The structure front-ends the per-station grid structures (QDS) with a
+nearest-station search:
+
+* preprocessing builds, for every station ``s_i`` whose zone is not
+  degenerate, the improved radius bounds of Section 5.2 and a
+  :class:`~repro.pointlocation.qds.ZoneGridIndex` of size ``O(eps^-1)``;
+  total size ``O(n * eps^-1)``;
+* a query locates the nearest station (``O(log n)`` via a k-d tree, standing
+  in for the paper's Voronoi diagram) and consults only that station's QDS
+  (constant time), returning which of ``H_i^+``, ``H_i^?`` or ``H^-`` the
+  point belongs to.
+
+The answer is *one-sided exact*: ``H_i^+`` is certified reception, ``H^-`` is
+certified non-reception, and only the thin ``H_i^?`` bands (whose total area
+is at most an ``eps``-fraction of the corresponding zone) remain undecided.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import PointLocationError
+from ..geometry.kdtree import KDTree
+from ..geometry.point import Point
+from ..model.network import WirelessNetwork
+from ..model.reception import ReceptionZone
+from .bounds import RadiusBounds, radius_bounds
+from .qds import QDSBuildReport, ZoneGridIndex, ZoneLabel
+from .segment_test import SamplingSegmentTest, SturmSegmentTest
+
+__all__ = ["PointLocationAnswer", "PointLocationStructure", "PreprocessingReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class PointLocationAnswer:
+    """The answer to one point-location query.
+
+    Attributes:
+        station: index of the only station that can possibly be heard at the
+            query point (its Voronoi owner), or None if the network is empty.
+        label: INSIDE (the point is in ``H_station^+``), OUTSIDE (the point is
+            in ``H^-``), or UNCERTAIN (the point is in ``H_station^?``).
+    """
+
+    station: Optional[int]
+    label: ZoneLabel
+
+    @property
+    def is_certified_reception(self) -> bool:
+        return self.label is ZoneLabel.INSIDE
+
+    @property
+    def is_certified_no_reception(self) -> bool:
+        return self.label is ZoneLabel.OUTSIDE
+
+
+@dataclass(frozen=True)
+class PreprocessingReport:
+    """Size and cost accounting of the whole structure."""
+
+    epsilon: float
+    station_count: int
+    total_suspect_cells: int
+    total_segment_tests: int
+    build_seconds: float
+    per_zone: Dict[int, QDSBuildReport]
+
+    @property
+    def size_estimate(self) -> int:
+        """Total number of stored cells across all per-zone structures."""
+        return self.total_suspect_cells
+
+
+class PointLocationStructure:
+    """The DS of Theorem 3: per-station QDS behind a nearest-station front-end.
+
+    Args:
+        network: a uniform power network with ``alpha = 2`` and ``beta > 1``.
+        epsilon: performance parameter in ``(0, 1)``.
+        segment_test_kind: ``"sturm"`` (the paper's algebraic test, default)
+            or ``"sampling"`` (the ablation baseline).
+        cover_method: ``"brp"`` (default) or ``"ray_sweep"``.
+        bounds_method: how the per-zone radius sandwich is obtained —
+            ``"measured"`` (tight, default), ``"improved"`` (Section 5.2) or
+            ``"explicit"`` (Theorem 4.1).  All three are certified; looser
+            bounds only make the grid finer and the structure larger.
+    """
+
+    def __init__(
+        self,
+        network: WirelessNetwork,
+        epsilon: float = 0.1,
+        segment_test_kind: str = "sturm",
+        cover_method: str = "brp",
+        bounds_method: str = "measured",
+    ):
+        if not 0.0 < epsilon < 1.0:
+            raise PointLocationError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not network.is_uniform_power():
+            raise PointLocationError(
+                "the point-location structure requires a uniform power network"
+            )
+        if network.beta <= 1.0:
+            raise PointLocationError("the point-location structure requires beta > 1")
+        if network.alpha != 2.0:
+            raise PointLocationError("the point-location structure requires alpha = 2")
+
+        self.network = network
+        self.epsilon = epsilon
+        self.segment_test_kind = segment_test_kind
+        self.cover_method = cover_method
+        self.bounds_method = bounds_method
+
+        start = time.perf_counter()
+        self._tree = KDTree(network.locations())
+        self._zone_indexes: Dict[int, ZoneGridIndex] = {}
+        self._bounds: Dict[int, RadiusBounds] = {}
+        per_zone_reports: Dict[int, QDSBuildReport] = {}
+        for index in range(len(network)):
+            if network.location_is_shared(index):
+                # Degenerate zone: the station is heard nowhere but at its own
+                # point; queries fall through to OUTSIDE.
+                continue
+            zone_index = self._build_zone_index(index)
+            self._zone_indexes[index] = zone_index
+            per_zone_reports[index] = zone_index.report
+        elapsed = time.perf_counter() - start
+
+        self.report = PreprocessingReport(
+            epsilon=epsilon,
+            station_count=len(network),
+            total_suspect_cells=sum(
+                report.suspect_cells for report in per_zone_reports.values()
+            ),
+            total_segment_tests=sum(
+                report.segment_tests for report in per_zone_reports.values()
+            ),
+            build_seconds=elapsed,
+            per_zone=per_zone_reports,
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_zone_index(self, index: int) -> ZoneGridIndex:
+        zone = ReceptionZone(network=self.network, index=index)
+        bounds = radius_bounds(self.network, index, method=self.bounds_method)
+        self._bounds[index] = bounds
+
+        if self.segment_test_kind == "sturm":
+            segment_test = SturmSegmentTest(self.network.reception_polynomial(index))
+        elif self.segment_test_kind == "sampling":
+            segment_test = SamplingSegmentTest(zone.contains)
+        else:
+            raise PointLocationError(
+                f"unknown segment test kind: {self.segment_test_kind!r}"
+            )
+
+        return ZoneGridIndex(
+            inside=zone.contains,
+            station=zone.station_location,
+            delta_lower=bounds.delta_lower,
+            Delta_upper=bounds.Delta_upper,
+            epsilon=self.epsilon,
+            segment_test=segment_test,
+            boundary_distance=lambda angle: zone.boundary_distance_along_ray(
+                angle, max_radius=bounds.Delta_upper * 1.0000001
+            ),
+            cover_method=self.cover_method,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def locate(self, point: Point) -> PointLocationAnswer:
+        """Answer one query in ``O(log n)`` time."""
+        candidate = self._tree.nearest_index(point)
+        zone_index = self._zone_indexes.get(candidate)
+        if zone_index is None:
+            return PointLocationAnswer(station=candidate, label=ZoneLabel.OUTSIDE)
+        return PointLocationAnswer(
+            station=candidate, label=zone_index.classify(point)
+        )
+
+    def locate_many(self, points: Sequence[Point]) -> List[PointLocationAnswer]:
+        """Answer a batch of queries."""
+        return [self.locate(point) for point in points]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def zone_index(self, index: int) -> Optional[ZoneGridIndex]:
+        """The per-zone grid structure of station ``index`` (None if degenerate)."""
+        return self._zone_indexes.get(index)
+
+    def radius_bounds(self, index: int) -> Optional[RadiusBounds]:
+        """The radius bounds used to build station ``index``'s grid structure."""
+        return self._bounds.get(index)
+
+    def size_estimate(self) -> int:
+        """Total number of stored suspect cells (the ``O(n / eps)`` size)."""
+        return self.report.total_suspect_cells

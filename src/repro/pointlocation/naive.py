@@ -1,0 +1,67 @@
+"""Naive point-location baselines (the comparison points of Section 1.3).
+
+The paper motivates its data structure against two obvious alternatives:
+
+* the ``O(n^2)``-per-query brute force that computes the SINR of *every*
+  station at the query point (each SINR evaluation is itself ``O(n)``);
+* the ``O(n)``-per-query method that exploits Observation 2.2: only the
+  station whose Voronoi cell contains the query point can possibly be heard,
+  so one nearest-station search plus a single SINR evaluation suffices.
+
+Both baselines answer *exactly*, unlike the approximate grid structure, and
+are used by the Theorem 3 benchmark to expose the query-time trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..geometry.kdtree import KDTree
+from ..geometry.point import Point
+from ..model.network import WirelessNetwork
+
+__all__ = ["BruteForceLocator", "VoronoiCandidateLocator"]
+
+
+@dataclass
+class BruteForceLocator:
+    """Exact point location by evaluating every station's SINR (``O(n^2)`` per query)."""
+
+    network: WirelessNetwork
+
+    def locate(self, point: Point) -> Optional[int]:
+        """Index of the station heard at ``point``, or None."""
+        for index in range(len(self.network)):
+            if self.network.is_received(index, point):
+                return index
+        return None
+
+    def query_cost(self) -> int:
+        """Number of energy evaluations a single query performs."""
+        n = len(self.network)
+        return n * n
+
+
+class VoronoiCandidateLocator:
+    """Exact point location via the unique Voronoi candidate (``O(n)`` per query).
+
+    Observation 2.2: in a uniform power network only the nearest station can
+    be heard at a point, so the query reduces to one nearest-station lookup
+    (``O(log n)`` with the k-d tree) plus one SINR evaluation (``O(n)``).
+    """
+
+    def __init__(self, network: WirelessNetwork):
+        self.network = network
+        self._tree = KDTree(network.locations())
+
+    def locate(self, point: Point) -> Optional[int]:
+        """Index of the station heard at ``point``, or None."""
+        candidate = self._tree.nearest_index(point)
+        if self.network.is_received(candidate, point):
+            return candidate
+        return None
+
+    def query_cost(self) -> int:
+        """Number of energy evaluations a single query performs."""
+        return len(self.network)

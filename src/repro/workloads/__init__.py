@@ -1,0 +1,35 @@
+"""Workload generation: random network families and the benchmark scenario catalogue."""
+
+from .generators import (
+    clustered_network,
+    colinear_network,
+    grid_network,
+    random_query_points,
+    ring_network,
+    two_station_network,
+    uniform_random_network,
+)
+from .scenarios import (
+    SCENARIOS,
+    Scenario,
+    point_location_networks,
+    scenario,
+    scenario_names,
+    theorem_verification_networks,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "clustered_network",
+    "colinear_network",
+    "grid_network",
+    "point_location_networks",
+    "random_query_points",
+    "ring_network",
+    "scenario",
+    "scenario_names",
+    "theorem_verification_networks",
+    "two_station_network",
+    "uniform_random_network",
+]

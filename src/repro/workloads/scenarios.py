@@ -1,0 +1,124 @@
+"""A deterministic catalogue of benchmark scenarios.
+
+Each scenario bundles a network family with the parameters the benchmark
+harness sweeps over, so that benchmarks, examples and EXPERIMENTS.md always
+talk about the same configurations.  Scenarios are intentionally small enough
+to run on a laptop in seconds — the paper's results are structural, not about
+absolute scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..geometry.point import Point
+from ..model.network import WirelessNetwork
+from .generators import (
+    clustered_network,
+    colinear_network,
+    grid_network,
+    ring_network,
+    uniform_random_network,
+)
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "scenario",
+    "scenario_names",
+    "theorem_verification_networks",
+    "point_location_networks",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, reproducible network configuration."""
+
+    name: str
+    description: str
+    build: Callable[[], WirelessNetwork]
+
+    def network(self) -> WirelessNetwork:
+        """Materialise the scenario's network."""
+        return self.build()
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in [
+        Scenario(
+            name="small-random",
+            description="5 uniformly random stations in a 10x10 box, beta=3",
+            build=lambda: uniform_random_network(
+                5, side=10.0, minimum_separation=1.5, noise=0.01, beta=3.0, seed=11
+            ),
+        ),
+        Scenario(
+            name="medium-random",
+            description="12 uniformly random stations in a 20x20 box, beta=4",
+            build=lambda: uniform_random_network(
+                12, side=20.0, minimum_separation=2.0, noise=0.005, beta=4.0, seed=23
+            ),
+        ),
+        Scenario(
+            name="large-random",
+            description="30 uniformly random stations in a 40x40 box, beta=6",
+            build=lambda: uniform_random_network(
+                30, side=40.0, minimum_separation=2.5, noise=0.002, beta=6.0, seed=37
+            ),
+        ),
+        Scenario(
+            name="clustered",
+            description="3 clusters of 4 stations each (dense interference), beta=3",
+            build=lambda: clustered_network(
+                3, 4, side=24.0, cluster_spread=1.5, noise=0.0, beta=3.0, seed=5
+            ),
+        ),
+        Scenario(
+            name="ring",
+            description="8 stations on a ring of radius 6, beta=2",
+            build=lambda: ring_network(8, radius=6.0, beta=2.0),
+        ),
+        Scenario(
+            name="grid",
+            description="3x3 station grid with spacing 3, beta=2.5",
+            build=lambda: grid_network(3, 3, spacing=3.0, beta=2.5),
+        ),
+        Scenario(
+            name="colinear",
+            description="positive colinear network of 6 stations (Section 4.2.2)",
+            build=lambda: colinear_network(6, spacing=2.0, beta=2.0),
+        ),
+        Scenario(
+            name="textbook-beta",
+            description="4 stations with the paper's 'textbook' beta = 6",
+            build=lambda: uniform_random_network(
+                4, side=12.0, minimum_separation=3.0, noise=0.01, beta=6.0, seed=2
+            ),
+        ),
+    ]
+}
+
+
+def scenario(name: str) -> Scenario:
+    """Look up a scenario by name."""
+    return SCENARIOS[name]
+
+
+def scenario_names() -> List[str]:
+    """Names of every catalogued scenario."""
+    return sorted(SCENARIOS)
+
+
+def theorem_verification_networks() -> List[Tuple[str, WirelessNetwork]]:
+    """The scenarios used by the Theorem 1/2 verification benchmarks."""
+    names = ["small-random", "clustered", "ring", "grid", "colinear", "textbook-beta"]
+    return [(name, SCENARIOS[name].network()) for name in names]
+
+
+def point_location_networks() -> List[Tuple[str, WirelessNetwork]]:
+    """The scenarios used by the Theorem 3 point-location benchmarks."""
+    names = ["small-random", "ring", "grid"]
+    return [(name, SCENARIOS[name].network()) for name in names]

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+Networks used across many test modules are defined once here.  They are kept
+deliberately small so that the whole suite runs in a couple of minutes; the
+larger sweeps live in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Point, SINRDiagram, WirelessNetwork
+
+
+@pytest.fixture
+def two_station_network() -> WirelessNetwork:
+    """The smallest non-trivial uniform power network (beta > 1, no noise)."""
+    return WirelessNetwork.uniform([(0.0, 0.0), (4.0, 0.0)], noise=0.0, beta=2.0)
+
+
+@pytest.fixture
+def three_station_network() -> WirelessNetwork:
+    """Three stations, no noise, beta = 1 (the Section 3.2 setting)."""
+    return WirelessNetwork.uniform(
+        [(0.0, 0.0), (4.0, 1.0), (1.0, 5.0)], noise=0.0, beta=1.0
+    )
+
+
+@pytest.fixture
+def noisy_network() -> WirelessNetwork:
+    """Five stations with background noise and beta > 1 (general Theorem 1 regime)."""
+    return WirelessNetwork.uniform(
+        [(0.0, 0.0), (4.0, 0.0), (0.0, 5.0), (6.0, 6.0), (-3.0, 2.0)],
+        noise=0.01,
+        beta=3.0,
+    )
+
+
+@pytest.fixture
+def noisy_diagram(noisy_network) -> SINRDiagram:
+    return SINRDiagram(noisy_network)
+
+
+@pytest.fixture
+def sub_unit_beta_network() -> WirelessNetwork:
+    """The Figure 5 regime (beta < 1), where convexity genuinely fails."""
+    return WirelessNetwork.uniform(
+        [(-2.0, -1.0), (2.0, -1.0), (0.0, 2.0)], noise=0.05, beta=0.3
+    )
+
+
+@pytest.fixture
+def origin() -> Point:
+    return Point(0.0, 0.0)

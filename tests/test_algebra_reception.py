@@ -1,0 +1,202 @@
+"""Tests for bivariate polynomials, root helpers and the reception polynomial."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro import Point, WirelessNetwork
+from repro.algebra import (
+    BivariatePolynomial,
+    Polynomial,
+    ReceptionPolynomial,
+    cubic_discriminant,
+    cubic_has_single_real_root,
+    numeric_real_roots,
+    quartic_depressed_form,
+    real_roots_of_quadratic,
+    squared_distance_polynomial,
+)
+from repro.exceptions import AlgebraError
+
+
+class TestRootHelpers:
+    def test_quadratic_roots(self):
+        assert real_roots_of_quadratic(2.0, -3.0, 1.0) == pytest.approx([1.0, 2.0])
+        assert real_roots_of_quadratic(1.0, 0.0, 1.0) == []
+        assert real_roots_of_quadratic(1.0, -2.0, 1.0) == pytest.approx([1.0])
+        # Degenerates to linear.
+        assert real_roots_of_quadratic(-4.0, 2.0, 0.0) == pytest.approx([2.0])
+
+    def test_cubic_discriminant_sign(self):
+        # x^3 - x has three real roots -> positive discriminant.
+        assert cubic_discriminant(0.0, -1.0, 0.0, 1.0) > 0
+        # x^3 + x has one real root -> negative discriminant.
+        assert cubic_discriminant(0.0, 1.0, 0.0, 1.0) < 0
+        assert cubic_has_single_real_root(0.0, 1.0, 0.0, 1.0)
+        assert not cubic_has_single_real_root(0.0, -1.0, 0.0, 1.0)
+
+    def test_cubic_helper_requires_cubic(self):
+        with pytest.raises(AlgebraError):
+            cubic_has_single_real_root(1.0, 1.0, 1.0, 0.0)
+
+    def test_quartic_depression_removes_cubic_term(self):
+        shift, p, q, r = quartic_depressed_form(1.0, -2.0, 3.0, -4.0, 1.0)
+        original = Polynomial([1.0, -2.0, 3.0, -4.0, 1.0])
+        depressed = Polynomial([r, q, p, 0.0, 1.0])
+        for z in (-2.0, -0.5, 0.0, 1.0, 2.5):
+            assert depressed(z) == pytest.approx(original(z + shift), rel=1e-9, abs=1e-9)
+
+    def test_numeric_real_roots(self):
+        polynomial = Polynomial.from_roots([-1.0, 2.0, 2.0])
+        roots = numeric_real_roots(polynomial)
+        assert min(roots) == pytest.approx(-1.0, abs=1e-6)
+        assert max(roots) == pytest.approx(2.0, abs=1e-4)
+
+
+class TestBivariatePolynomial:
+    def test_evaluation_and_arithmetic(self):
+        x = BivariatePolynomial.x()
+        y = BivariatePolynomial.y()
+        q = x * x + y * y - 1.0
+        assert q(1.0, 0.0) == pytest.approx(0.0)
+        assert q(0.0, 0.0) == pytest.approx(-1.0)
+        assert (q + 1.0)(0.0, 0.0) == pytest.approx(0.0)
+        assert (2.0 * q)(2.0, 0.0) == pytest.approx(6.0)
+
+    def test_total_degree_and_coefficients(self):
+        q = BivariatePolynomial({(2, 1): 3.0, (0, 0): -1.0})
+        assert q.total_degree() == 3
+        assert q.coefficient(2, 1) == 3.0
+        assert q.coefficient(5, 5) == 0.0
+
+    def test_partial_derivatives_and_gradient(self):
+        q = BivariatePolynomial.x() ** 2 + BivariatePolynomial.y() ** 3
+        assert q.partial_x()(2.0, 1.0) == pytest.approx(4.0)
+        assert q.partial_y()(2.0, 1.0) == pytest.approx(3.0)
+        gradient = q.gradient(1.0, 2.0)
+        assert gradient.x == pytest.approx(2.0)
+        assert gradient.y == pytest.approx(12.0)
+
+    def test_restriction_to_segment_matches_direct_evaluation(self):
+        q = squared_distance_polynomial(Point(1.0, 2.0))
+        start, end = Point(-1.0, 0.0), Point(3.0, 4.0)
+        restriction = q.restrict_to_segment(start, end)
+        for t in (0.0, 0.3, 0.7, 1.0):
+            point = Point(start.x + t * (end.x - start.x), start.y + t * (end.y - start.y))
+            assert restriction(t) == pytest.approx(q.evaluate_at_point(point))
+
+    def test_squared_distance_polynomial(self):
+        q = squared_distance_polynomial(Point(2.0, -1.0))
+        assert q(2.0, -1.0) == pytest.approx(0.0)
+        assert q(5.0, 3.0) == pytest.approx(25.0)
+
+    def test_power_and_negative_exponent(self):
+        q = BivariatePolynomial.x() + 1.0
+        assert (q ** 2)(1.0, 0.0) == pytest.approx(4.0)
+        with pytest.raises(AlgebraError):
+            q ** -1
+
+
+class TestReceptionPolynomial:
+    def build(self, noise=0.01, beta=3.0):
+        return ReceptionPolynomial(
+            target_index=0,
+            stations=[Point(0, 0), Point(4, 0), Point(0, 5)],
+            powers=[1.0, 1.0, 1.0],
+            noise=noise,
+            beta=beta,
+        )
+
+    def test_validation(self):
+        with pytest.raises(AlgebraError):
+            ReceptionPolynomial(0, [Point(0, 0)], [1.0], 0.0, 1.0)
+        with pytest.raises(AlgebraError):
+            ReceptionPolynomial(5, [Point(0, 0), Point(1, 1)], [1.0, 1.0], 0.0, 1.0)
+        with pytest.raises(AlgebraError):
+            ReceptionPolynomial(0, [Point(0, 0), Point(1, 1)], [1.0], 0.0, 1.0)
+        with pytest.raises(AlgebraError):
+            ReceptionPolynomial(0, [Point(0, 0), Point(1, 1)], [1.0, 1.0], -1.0, 1.0)
+        with pytest.raises(AlgebraError):
+            ReceptionPolynomial(0, [Point(0, 0), Point(1, 1)], [1.0, 1.0], 0.0, 0.0)
+
+    def test_degree(self):
+        assert self.build(noise=0.01).degree() == 6
+        assert self.build(noise=0.0).degree() == 4
+
+    def test_sign_agrees_with_sinr_rule(self):
+        network = WirelessNetwork.uniform(
+            [(0, 0), (4, 0), (0, 5)], noise=0.01, beta=3.0
+        )
+        polynomial = network.reception_polynomial(0)
+        rng = random.Random(5)
+        for _ in range(300):
+            point = Point(rng.uniform(-6, 8), rng.uniform(-6, 8))
+            assert polynomial.is_received(point) == network.is_received(0, point)
+
+    def test_negative_inside_positive_outside(self):
+        polynomial = self.build()
+        assert polynomial(0.3, 0.1) < 0.0
+        assert polynomial(3.0, 3.0) > 0.0
+
+    def test_restriction_matches_evaluation(self):
+        polynomial = self.build()
+        start, end = Point(-2.0, -1.0), Point(5.0, 4.0)
+        restriction = polynomial.restrict_to_segment(start, end)
+        for t in (0.0, 0.2, 0.5, 0.8, 1.0):
+            point = Point(
+                start.x + t * (end.x - start.x), start.y + t * (end.y - start.y)
+            )
+            expected = polynomial.evaluate_at_point(point)
+            assert restriction(t) == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+    def test_restriction_degree(self):
+        polynomial = self.build(noise=0.01)
+        restriction = polynomial.restrict_to_segment(Point(-1, -1), Point(2, 3))
+        assert restriction.degree() == 6
+
+    def test_horizontal_restriction(self):
+        polynomial = self.build()
+        restriction = polynomial.restrict_to_horizontal_line(1.0)
+        assert restriction(0.5) == pytest.approx(polynomial(0.5, 1.0), rel=1e-9)
+
+    def test_count_boundary_crossings_on_a_diameter(self):
+        # A segment passing straight through the zone crosses the boundary twice.
+        network = WirelessNetwork.uniform([(0, 0), (6, 0)], noise=0.0, beta=2.0)
+        polynomial = network.reception_polynomial(0)
+        # The zone of s0 is the Apollonius disk (x+6)^2 + y^2 <= 72, so a
+        # horizontal chord from x = -20 (outside) to x = 5.5 (outside) crosses
+        # its boundary exactly twice.
+        assert polynomial.count_boundary_crossings(Point(-20, 0.3), Point(5.5, 0.3)) == 2
+        # A segment far away never crosses.
+        assert polynomial.count_boundary_crossings(Point(-10, 50), Point(10, 50)) == 0
+
+    def test_convexity_implies_at_most_two_crossings(self):
+        network = WirelessNetwork.uniform(
+            [(0, 0), (4, 0), (0, 5), (6, 6)], noise=0.01, beta=2.0
+        )
+        polynomial = network.reception_polynomial(0)
+        rng = random.Random(9)
+        for _ in range(50):
+            angle = rng.uniform(0, math.pi)
+            offset = rng.uniform(-3, 3)
+            direction = Point(math.cos(angle), math.sin(angle))
+            normal = direction.perpendicular()
+            anchor = Point(0, 0) + normal * offset - direction * 20.0
+            end = Point(0, 0) + normal * offset + direction * 20.0
+            assert polynomial.count_boundary_crossings(anchor, end) <= 2
+
+    def test_expanded_form_matches_factored_form(self):
+        polynomial = self.build()
+        expanded = polynomial.expanded()
+        rng = random.Random(2)
+        for _ in range(50):
+            x, y = rng.uniform(-5, 5), rng.uniform(-5, 5)
+            assert expanded(x, y) == pytest.approx(polynomial(x, y), rel=1e-9, abs=1e-6)
+
+    def test_station_location_is_received(self):
+        polynomial = self.build()
+        assert polynomial.is_received(Point(0, 0))
+        assert not polynomial.is_received(Point(4, 0))

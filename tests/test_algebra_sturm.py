@@ -1,0 +1,118 @@
+"""Tests for Sturm sequences, root counting and root isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import (
+    Polynomial,
+    SturmSequence,
+    count_distinct_real_roots_in_interval,
+    count_real_roots,
+    isolate_real_roots,
+    numeric_real_roots,
+    refine_root,
+)
+from repro.exceptions import AlgebraError
+
+
+class TestSturmSequenceConstruction:
+    def test_sequence_of_zero_polynomial_rejected(self):
+        with pytest.raises(AlgebraError):
+            SturmSequence.of(Polynomial.zero())
+
+    def test_sequence_length_is_at_most_degree_plus_one(self):
+        polynomial = Polynomial.from_roots([1.0, 2.0, 3.0, -1.0])
+        sequence = SturmSequence.of(polynomial)
+        assert len(sequence) <= polynomial.degree() + 1
+
+    def test_constant_polynomial_sequence(self):
+        sequence = SturmSequence.of(Polynomial.constant(5.0))
+        assert sequence.count_real_roots() == 0
+
+
+class TestRootCounting:
+    def test_distinct_real_roots_of_simple_polynomials(self):
+        assert count_real_roots(Polynomial.from_roots([1.0, 2.0, 3.0])) == 3
+        assert count_real_roots(Polynomial([1.0, 0.0, 1.0])) == 0  # x^2 + 1
+        assert count_real_roots(Polynomial([0.0, 1.0])) == 1  # x
+
+    def test_multiple_roots_counted_once(self):
+        # (x - 1)^2 has one *distinct* real root.
+        polynomial = Polynomial.from_roots([1.0, 1.0])
+        assert count_real_roots(polynomial) == 1
+
+    def test_counting_in_interval(self):
+        polynomial = Polynomial.from_roots([-2.0, 0.5, 3.0])
+        assert count_distinct_real_roots_in_interval(polynomial, 0.0, 1.0) == 1
+        assert count_distinct_real_roots_in_interval(polynomial, -3.0, 4.0) == 3
+        assert count_distinct_real_roots_in_interval(polynomial, 1.0, 2.0) == 0
+
+    def test_interval_bounds_validation(self):
+        with pytest.raises(AlgebraError):
+            count_distinct_real_roots_in_interval(Polynomial([0.0, 1.0]), 2.0, 1.0)
+
+    def test_endpoint_on_root_is_handled(self):
+        polynomial = Polynomial.from_roots([0.0, 2.0])
+        # Both endpoints are roots; the count must still be finite and sane.
+        count = count_distinct_real_roots_in_interval(polynomial, 0.0, 2.0)
+        assert count in (1, 2)
+
+    def test_agreement_with_numpy_roots_on_random_polynomials(self):
+        import random
+
+        rng = random.Random(12)
+        for _ in range(40):
+            roots = sorted(rng.uniform(-5.0, 5.0) for _ in range(rng.randint(1, 6)))
+            polynomial = Polynomial.from_roots(roots)
+            assert count_real_roots(polynomial) == len(set(roots))
+            numeric = numeric_real_roots(polynomial)
+            assert len(numeric) >= len(set(roots))
+
+    def test_quartic_from_the_convexity_proof(self):
+        # A quartic of the form (x^2 + 1)^2 - (gamma z^2 + delta) appearing in
+        # Section 3.2 has at most two distinct real roots when gamma, delta
+        # correspond to a valid configuration; check a concrete instance.
+        base = Polynomial([1.0, 0.0, 1.0]) ** 2  # (x^2+1)^2
+        j = Polynomial([0.5, 0.0, 3.0])  # 3x^2 + 0.5
+        polynomial = base - j
+        assert count_real_roots(polynomial) <= 2
+
+
+class TestSignChanges:
+    def test_sign_changes_bracket_roots(self):
+        polynomial = Polynomial.from_roots([-1.0, 1.0])
+        sequence = SturmSequence.of(polynomial)
+        assert (
+            sequence.sign_changes_at(-2.0) - sequence.sign_changes_at(2.0)
+        ) == 2
+
+    def test_sign_changes_at_infinity(self):
+        polynomial = Polynomial.from_roots([-1.0, 1.0, 3.0])
+        sequence = SturmSequence.of(polynomial)
+        assert (
+            sequence.sign_changes_at_minus_infinity()
+            - sequence.sign_changes_at_plus_infinity()
+        ) == 3
+
+
+class TestIsolationAndRefinement:
+    def test_isolate_real_roots(self):
+        roots = [-2.0, 0.25, 1.5]
+        polynomial = Polynomial.from_roots(roots)
+        intervals = isolate_real_roots(polynomial, -10.0, 10.0)
+        assert len(intervals) == 3
+        for (low, high), root in zip(intervals, roots):
+            assert low < root <= high + 1e-9
+
+    def test_refine_root_bisection(self):
+        polynomial = Polynomial.from_roots([2.0])
+        assert refine_root(polynomial, 1.0, 3.0) == pytest.approx(2.0, abs=1e-9)
+
+    def test_refine_root_without_sign_change_returns_midpoint(self):
+        polynomial = Polynomial.from_roots([1.0, 1.0])  # double root, no sign change
+        assert refine_root(polynomial, 0.0, 2.0) == pytest.approx(1.0)
+
+    def test_refine_root_at_endpoint(self):
+        polynomial = Polynomial.from_roots([1.0])
+        assert refine_root(polynomial, 1.0, 2.0) == pytest.approx(1.0)

@@ -1,0 +1,122 @@
+"""Tests for the numerical theorem-verification harness (Theorems 1, 2; Lemmas 2.1, 3.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Point, SINRDiagram, WirelessNetwork
+from repro.analysis import (
+    verify_lemma_2_1,
+    verify_network_convexity,
+    verify_network_fatness,
+    verify_zone_convexity,
+    verify_zone_fatness,
+    verify_zone_star_shape,
+)
+
+
+@pytest.fixture(scope="module")
+def convex_regime_diagram():
+    network = WirelessNetwork.uniform(
+        [(0.0, 0.0), (5.0, 0.0), (1.0, 6.0), (-4.0, 3.0)], noise=0.01, beta=2.0
+    )
+    return SINRDiagram(network)
+
+
+@pytest.fixture(scope="module")
+def figure5_diagram(sub_unit_beta_network=None):
+    network = WirelessNetwork.uniform(
+        [(-2.0, -1.0), (2.0, -1.0), (0.0, 2.0)], noise=0.05, beta=0.3
+    )
+    return SINRDiagram(network)
+
+
+class TestTheorem1Convexity:
+    def test_zones_are_convex_in_the_theorem_regime(self, convex_regime_diagram):
+        for index in range(len(convex_regime_diagram)):
+            result = verify_zone_convexity(
+                convex_regime_diagram.zone(index), sample_points=50, max_pairs=400
+            )
+            assert result.is_convex, f"zone {index} reported non-convex: {result.violation}"
+            assert result.segments_checked > 0
+
+    def test_network_level_helper(self, convex_regime_diagram):
+        results = verify_network_convexity(
+            convex_regime_diagram.network, sample_points=30, max_pairs=150
+        )
+        assert len(results) == 4
+        assert all(result.is_convex for result in results)
+
+    def test_non_convexity_is_detected_for_beta_below_one(self, figure5_diagram):
+        # Figure 5 regime: at least one zone must be flagged as non-convex.
+        results = [
+            verify_zone_convexity(
+                figure5_diagram.zone(index), sample_points=120, max_pairs=1500, seed=3
+            )
+            for index in range(len(figure5_diagram))
+        ]
+        assert any(not result.is_convex for result in results)
+        violating = next(result for result in results if not result.is_convex)
+        p1, p2, witness = violating.violation
+        zone = figure5_diagram.zone(violating.station)
+        assert zone.contains(p1) and zone.contains(p2) and not zone.contains(witness)
+
+    def test_degenerate_zone_is_trivially_convex(self):
+        network = WirelessNetwork.uniform([(0, 0), (0, 0), (4, 0)], beta=2.0)
+        result = verify_zone_convexity(SINRDiagram(network).zone(0))
+        assert result.is_convex and result.segments_checked == 0
+
+
+class TestLemma31StarShape:
+    def test_zones_are_star_shaped(self, convex_regime_diagram):
+        for index in range(len(convex_regime_diagram)):
+            result = verify_zone_star_shape(
+                convex_regime_diagram.zone(index), rays=36, samples_per_ray=24
+            )
+            assert result.is_star_shaped
+            assert result.rays_checked == 36
+
+    def test_star_shape_holds_even_for_beta_below_one(self, figure5_diagram):
+        # Lemma 3.1 needs SINR >= 1 at the endpoint; with beta < 1 zones need
+        # not be convex, yet every zone still contains the segment from the
+        # station to any zone point with SINR >= 1.  We only check the zones
+        # around their own stations, where the lemma's premise holds.
+        result = verify_zone_star_shape(figure5_diagram.zone(0), rays=24)
+        assert result.rays_checked == 24
+
+
+class TestLemma21LineCrossings:
+    def test_lines_cross_convex_boundaries_at_most_twice(self, convex_regime_diagram):
+        for index in range(len(convex_regime_diagram)):
+            result = verify_lemma_2_1(convex_regime_diagram.zone(index), lines=30)
+            assert result.holds, f"zone {index}: {result.max_crossings} crossings"
+            assert result.lines_checked == 30
+
+
+class TestTheorem2Fatness:
+    def test_fatness_bound_holds_across_zones(self, convex_regime_diagram):
+        results = verify_network_fatness(convex_regime_diagram.network, angles=120)
+        assert len(results) == 4
+        for result in results:
+            assert result.delta <= result.Delta
+            assert result.satisfies_bound
+
+    def test_fatness_bound_value(self, convex_regime_diagram):
+        result = verify_zone_fatness(convex_regime_diagram.zone(0), angles=90)
+        beta = convex_regime_diagram.network.beta
+        assert result.bound == pytest.approx(
+            (math.sqrt(beta) + 1) / (math.sqrt(beta) - 1)
+        )
+
+    def test_two_station_network_attains_the_bound(self):
+        # Lemma 4.3: with equal powers the ratio equals (sqrt(beta)+1)/(sqrt(beta)-1).
+        network = WirelessNetwork.uniform([(0, 0), (4, 0)], noise=0.0, beta=2.0)
+        result = verify_zone_fatness(SINRDiagram(network).zone(0), angles=360)
+        assert result.fatness == pytest.approx(result.bound, rel=1e-3)
+
+    def test_degenerate_zones_are_skipped(self):
+        network = WirelessNetwork.uniform([(0, 0), (0, 0), (4, 0)], beta=2.0)
+        results = verify_network_fatness(network, angles=60)
+        assert len(results) == 1  # only the non-degenerate station

@@ -1,0 +1,160 @@
+"""Tests for contour tracing, exports and the paper-figure scenarios."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Point, SINRDiagram, WirelessNetwork
+from repro.diagrams import (
+    FigurePanel,
+    figure1_panels,
+    figure2_scenario,
+    figure3_4_steps,
+    figure5_network,
+    figure6_network,
+    figure7_network,
+    marching_squares,
+    PAPER_FIGURES,
+    to_ascii,
+    to_csv,
+    to_pgm,
+    trace_zone_boundary,
+    write_csv,
+    write_pgm,
+)
+from repro.exceptions import DiagramError
+
+
+class TestContourTracing:
+    def test_trace_zone_boundary_points_are_on_the_boundary(self, noisy_diagram):
+        zone = noisy_diagram.zone(0)
+        points = trace_zone_boundary(zone, vertices=60)
+        assert len(points) == 61  # closed
+        assert points[0] == points[-1]
+        polynomial = zone.polynomial
+        for point in points[:-1]:
+            assert abs(polynomial.evaluate_at_point(point)) <= 1e-3 * max(
+                abs(polynomial(point.x + 1.0, point.y)), 1.0
+            )
+
+    def test_trace_rejects_degenerate_zone(self):
+        network = WirelessNetwork.uniform([(0, 0), (0, 0), (4, 0)], beta=2.0)
+        with pytest.raises(DiagramError):
+            trace_zone_boundary(SINRDiagram(network).zone(0))
+
+    def test_marching_squares_circle(self):
+        xs = np.linspace(-2, 2, 81)
+        ys = np.linspace(-2, 2, 81)
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        values = grid_x ** 2 + grid_y ** 2 - 1.0  # unit circle
+        contours = marching_squares(values, xs, ys, level=0.0)
+        assert contours
+        # All contour points lie near the unit circle.
+        for polyline in contours:
+            for point in polyline:
+                assert math.hypot(point.x, point.y) == pytest.approx(1.0, abs=0.06)
+        # Total length approximates the circumference.
+        total = sum(
+            polyline[i].distance_to(polyline[i + 1])
+            for polyline in contours
+            for i in range(len(polyline) - 1)
+        )
+        assert total == pytest.approx(2 * math.pi, rel=0.05)
+
+    def test_marching_squares_validation(self):
+        xs = np.linspace(0, 1, 4)
+        with pytest.raises(DiagramError):
+            marching_squares(np.zeros((3, 3)), xs, xs)
+        with pytest.raises(DiagramError):
+            marching_squares(np.zeros(5), xs, xs)
+
+
+class TestExports:
+    def make_raster(self):
+        network = WirelessNetwork.uniform([(0, 0), (5, 0)], noise=0.0, beta=2.0)
+        return SINRDiagram(network).rasterize(Point(-12, -9), Point(9, 9), resolution=60), network
+
+    def test_ascii_rendering(self):
+        raster, network = self.make_raster()
+        art = to_ascii(raster, station_locations=network.locations(), max_width=60)
+        assert "0" in art and "1" in art and "." in art and "*" in art
+        assert len(art.splitlines()) > 10
+
+    def test_pgm_format(self):
+        raster, _ = self.make_raster()
+        pgm = to_pgm(raster)
+        lines = pgm.splitlines()
+        assert lines[0] == "P2"
+        columns, rows = (int(v) for v in lines[1].split())
+        assert (rows, columns) == raster.labels.shape
+        assert lines[2] == "255"
+
+    def test_csv_round_trip_dimensions(self):
+        raster, _ = self.make_raster()
+        csv_text = to_csv(raster)
+        lines = csv_text.strip().splitlines()
+        assert len(lines) == raster.labels.shape[0] + 1
+        assert len(lines[1].split(",")) == raster.labels.shape[1] + 1
+
+    def test_file_writers(self, tmp_path):
+        raster, _ = self.make_raster()
+        pgm_path = write_pgm(raster, tmp_path / "diagram.pgm")
+        csv_path = write_csv(raster, tmp_path / "diagram.csv")
+        assert pgm_path.read_text().startswith("P2")
+        assert csv_path.read_text().count("\n") > 10
+
+
+class TestPaperFigures:
+    def test_figure1_panels_match_expectations(self):
+        panels = figure1_panels()
+        assert [panel.name for panel in panels] == ["1A", "1B", "1C"]
+        for panel in panels:
+            assert panel.matches_expectations()
+        assert panels[0].sinr_outcome() == 1
+        assert panels[1].sinr_outcome() is None
+        assert panels[2].sinr_outcome() == 0
+
+    def test_figure2_false_positive(self):
+        panel = figure2_scenario()
+        assert panel.matches_expectations()
+        assert panel.udg_outcome() == 0
+        assert panel.sinr_outcome() is None
+
+    def test_figure3_4_progression(self):
+        panels = figure3_4_steps()
+        assert len(panels) == 4
+        outcomes = [(panel.udg_outcome(), panel.sinr_outcome()) for panel in panels]
+        assert outcomes[0] == (0, 0)  # both hear s1
+        assert outcomes[1] == (None, 0)  # UDG collision, SINR still hears s1
+        assert outcomes[2] == (None, 2)  # SINR switches to s3
+        assert outcomes[3][0] is None  # UDG still hears nothing
+        for panel in panels:
+            assert panel.matches_expectations()
+
+    def test_figure5_network_regime(self):
+        network = figure5_network()
+        assert network.beta == 0.3 and network.noise == 0.05
+        assert len(network) == 3
+
+    def test_figure6_and_7_networks_are_in_the_theorem_regime(self):
+        for network in (figure6_network(), figure7_network()):
+            assert network.is_uniform_power()
+            assert network.beta > 1.0
+
+    def test_registry_contains_all_figures(self):
+        assert set(PAPER_FIGURES) == {
+            "figure1",
+            "figure2",
+            "figure3_4",
+            "figure5",
+            "figure6",
+            "figure7",
+        }
+
+    def test_panel_without_receiver_matches_trivially(self):
+        panel = FigurePanel(name="x", network=figure7_network())
+        assert panel.matches_expectations()
+        assert panel.sinr_outcome() is None and panel.udg_outcome() is None

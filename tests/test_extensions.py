@@ -1,0 +1,194 @@
+"""Tests for the extension modules: 1-D reception analysis, link scheduling,
+and the programmatic experiment harness."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import SINRDiagram, WirelessNetwork
+from repro.analysis import (
+    ExperimentResult,
+    format_report,
+    run_figure1,
+    run_figure2,
+    run_figure3_4,
+    run_figure5,
+    run_theorem1,
+    run_theorem2,
+)
+from repro.exceptions import NetworkConfigurationError
+from repro.geometry import theoretical_fatness_bound
+from repro.graphs import (
+    compare_schedules,
+    greedy_schedule,
+    sinr_link_feasible,
+    sinr_links_feasible,
+    udg_links_feasible,
+)
+from repro.model import (
+    colinear_reception_interval,
+    is_positive_colinear,
+    two_station_fatness_ratio,
+    two_station_reception_interval,
+)
+from repro.workloads import colinear_network
+
+
+class TestTwoStationClosedForms:
+    def test_interval_formulas(self):
+        interval = two_station_reception_interval(beta=2.0, separation=4.0)
+        assert interval.mu_right == pytest.approx(4.0 / (math.sqrt(2.0) + 1.0))
+        assert interval.mu_left == pytest.approx(-4.0 / (math.sqrt(2.0) - 1.0))
+        assert interval.delta == interval.mu_right
+        assert interval.Delta == -interval.mu_left
+        assert interval.length == pytest.approx(interval.mu_right - interval.mu_left)
+
+    def test_lemma_4_3_ratio(self):
+        # Equality at psi_1 = 1; the ratio decreases as the interferer gets stronger.
+        equal = two_station_fatness_ratio(beta=2.0, interferer_power=1.0)
+        stronger = two_station_fatness_ratio(beta=2.0, interferer_power=4.0)
+        assert equal == pytest.approx(theoretical_fatness_bound(2.0))
+        assert stronger < equal
+        interval = two_station_reception_interval(2.0, 1.0, 3.0)
+        assert interval.ratio == pytest.approx(equal)
+
+    def test_closed_form_matches_the_planar_zone(self):
+        network = WirelessNetwork.uniform([(0, 0), (4, 0)], noise=0.0, beta=2.0)
+        zone = SINRDiagram(network).zone(0)
+        interval = two_station_reception_interval(beta=2.0, separation=4.0)
+        assert zone.boundary_distance_along_ray(0.0) == pytest.approx(
+            interval.mu_right, abs=1e-6
+        )
+        assert zone.boundary_distance_along_ray(math.pi) == pytest.approx(
+            -interval.mu_left, abs=1e-5
+        )
+
+    def test_validation(self):
+        with pytest.raises(NetworkConfigurationError):
+            two_station_reception_interval(beta=0.5, separation=1.0)
+        with pytest.raises(NetworkConfigurationError):
+            two_station_reception_interval(beta=2.0, separation=0.0)
+        with pytest.raises(NetworkConfigurationError):
+            two_station_fatness_ratio(beta=0.9)
+
+
+class TestColinearIntervals:
+    def test_positive_colinear_detection(self):
+        assert is_positive_colinear(colinear_network(4, spacing=2.0, beta=2.0))
+        assert not is_positive_colinear(
+            WirelessNetwork.uniform([(0, 0), (2, 1)], beta=2.0)
+        )
+        assert not is_positive_colinear(
+            WirelessNetwork.uniform([(1, 0), (2, 0)], beta=2.0)
+        )
+
+    def test_two_station_case_matches_closed_form(self):
+        network = colinear_network(2, spacing=4.0, beta=2.0)
+        interval = colinear_reception_interval(network)
+        closed_form = two_station_reception_interval(beta=2.0, separation=4.0)
+        assert interval.mu_right == pytest.approx(closed_form.mu_right, abs=1e-6)
+        assert interval.mu_left == pytest.approx(closed_form.mu_left, abs=1e-5)
+
+    def test_lemma_4_4_interval_matches_zone_radii(self):
+        # delta = mu_r and Delta = -mu_l for positive colinear networks.
+        network = colinear_network(5, spacing=2.0, beta=2.0)
+        interval = colinear_reception_interval(network)
+        measurement = SINRDiagram(network).zone(0).fatness(angles=240)
+        assert interval.delta == pytest.approx(measurement.delta, rel=1e-3)
+        assert interval.Delta == pytest.approx(measurement.Delta, rel=1e-3)
+        assert interval.ratio <= theoretical_fatness_bound(2.0) + 1e-9
+
+    def test_more_interferers_shrink_the_interval(self):
+        small = colinear_reception_interval(colinear_network(2, spacing=2.0, beta=2.0))
+        large = colinear_reception_interval(colinear_network(6, spacing=2.0, beta=2.0))
+        assert large.mu_right < small.mu_right
+        assert large.Delta <= small.Delta + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(NetworkConfigurationError):
+            colinear_reception_interval(WirelessNetwork.uniform([(0, 0), (2, 1)], beta=2.0))
+        with pytest.raises(NetworkConfigurationError):
+            colinear_reception_interval(colinear_network(3, spacing=2.0, beta=1.0))
+
+
+class TestLinkScheduling:
+    def network(self):
+        # Two well separated sender/receiver pairs plus a middle station.
+        return WirelessNetwork.uniform(
+            [(0, 0), (1.5, 0), (10, 0), (11.5, 0), (5.5, 4.0)], noise=0.0, beta=2.0
+        )
+
+    def test_single_link_feasibility(self):
+        network = self.network()
+        assert sinr_link_feasible(network, (1, 0), senders={1})
+        # The same link fails if the far pair transmits close to the receiver? No:
+        # the far senders are 10 units away, so the link still succeeds.
+        assert sinr_link_feasible(network, (1, 0), senders={1, 3})
+        # A sender that is not transmitting cannot be received.
+        assert not sinr_link_feasible(network, (1, 0), senders={3})
+
+    def test_parallel_links_feasible_when_far_apart(self):
+        network = self.network()
+        assert sinr_links_feasible(network, [(1, 0), (3, 2)])
+        # Both links sharing a receiver is never feasible.
+        assert not sinr_links_feasible(network, [(1, 0), (3, 0)])
+        # A station cannot send and receive simultaneously.
+        assert not sinr_links_feasible(network, [(1, 0), (0, 4)])
+
+    def test_udg_feasibility_is_more_conservative_here(self):
+        network = self.network()
+        links = [(1, 0), (4, 2)]
+        # Under the SINR rule the strong nearby link (1->0) survives the far
+        # transmitter; under a UDG with a large radius the two senders collide
+        # at receiver 2.
+        assert udg_links_feasible(network, [(1, 0)], radius=2.0)
+        assert not udg_links_feasible(network, [(1, 0), (3, 2)], radius=10.0)
+
+    def test_greedy_schedule_and_comparison(self):
+        network = self.network()
+        links = [(1, 0), (3, 2)]
+        comparison = compare_schedules(network, links, udg_radius=10.0)
+        assert comparison.sinr_length == 1
+        assert comparison.udg_length == 2
+        assert comparison.udg_overhead == pytest.approx(2.0)
+
+    def test_greedy_schedule_rejects_impossible_links(self):
+        network = self.network()
+        with pytest.raises(NetworkConfigurationError):
+            greedy_schedule(
+                [(0, 2)],  # sender 0 is 10 units from receiver 2: SNR fine (no
+                # noise) but interference from... actually make it infeasible by
+                # scheduling against an oracle that always refuses.
+                lambda batch: False,
+            )
+
+    def test_link_validation(self):
+        network = self.network()
+        with pytest.raises(NetworkConfigurationError):
+            sinr_links_feasible(network, [(0, 9)])
+        with pytest.raises(NetworkConfigurationError):
+            sinr_links_feasible(network, [(0, 0)])
+
+
+class TestExperimentHarness:
+    def test_figure_experiments_reproduce(self):
+        for runner in (run_figure1, run_figure2, run_figure3_4, run_figure5):
+            result = runner()
+            assert isinstance(result, ExperimentResult)
+            assert result.reproduced, result.experiment
+
+    def test_theorem_experiments_reproduce(self):
+        assert run_theorem1().reproduced
+        result = run_theorem2()
+        assert result.reproduced
+        assert len(result.details["series"]) == 4
+
+    def test_format_report_is_markdown_table(self):
+        results = [run_figure2()]
+        report = format_report(results)
+        lines = report.splitlines()
+        assert lines[0].startswith("| Experiment |")
+        assert "Figure 2" in report
+        assert "| yes |" in report

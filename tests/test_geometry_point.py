@@ -1,0 +1,115 @@
+"""Tests for repro.geometry.point."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    ORIGIN,
+    Point,
+    as_point,
+    centroid,
+    collinear,
+    cross,
+    distance,
+    dot,
+    midpoint,
+    orientation,
+    squared_distance,
+)
+
+
+class TestPointArithmetic:
+    def test_addition_and_subtraction(self):
+        assert Point(1, 2) + Point(3, -1) == Point(4, 1)
+        assert Point(1, 2) - Point(3, -1) == Point(-2, 3)
+
+    def test_scalar_multiplication_is_commutative(self):
+        assert Point(1.5, -2.0) * 2.0 == 2.0 * Point(1.5, -2.0) == Point(3.0, -4.0)
+
+    def test_division_and_negation(self):
+        assert Point(4, -2) / 2 == Point(2, -1)
+        assert -Point(4, -2) == Point(-4, 2)
+
+    def test_iteration_indexing_and_length(self):
+        p = Point(3.0, 7.0)
+        assert list(p) == [3.0, 7.0]
+        assert p[0] == 3.0 and p[1] == 7.0
+        assert len(p) == 2
+
+    def test_points_are_hashable_value_types(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+
+class TestNormsAndDistances:
+    def test_norm_matches_hypot(self):
+        assert Point(3, 4).norm() == pytest.approx(5.0)
+        assert Point(3, 4).squared_norm() == pytest.approx(25.0)
+
+    def test_distance_is_symmetric(self):
+        p, q = Point(1, 1), Point(4, 5)
+        assert p.distance_to(q) == pytest.approx(q.distance_to(p)) == pytest.approx(5.0)
+        assert p.squared_distance_to(q) == pytest.approx(25.0)
+
+    def test_module_level_distance_accepts_tuples(self):
+        assert distance((0, 0), (0, 3)) == pytest.approx(3.0)
+        assert squared_distance((1, 1), (2, 2)) == pytest.approx(2.0)
+
+    def test_normalized_has_unit_length(self):
+        assert Point(5, 0).normalized() == Point(1, 0)
+        assert Point(3, 4).normalized().norm() == pytest.approx(1.0)
+
+    def test_normalizing_zero_vector_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ORIGIN.normalized()
+
+
+class TestDirections:
+    def test_perpendicular_rotates_by_90_degrees(self):
+        assert Point(1, 0).perpendicular() == Point(0, 1)
+        assert dot(Point(2, 3), Point(2, 3).perpendicular()) == pytest.approx(0.0)
+
+    def test_rotation_about_origin(self):
+        rotated = Point(1, 0).rotated(math.pi / 2)
+        assert rotated.is_close(Point(0, 1))
+
+    def test_rotation_about_arbitrary_pivot(self):
+        rotated = Point(2, 0).rotated(math.pi, about=Point(1, 0))
+        assert rotated.is_close(Point(0, 0))
+
+    def test_angle(self):
+        assert Point(0, 2).angle() == pytest.approx(math.pi / 2)
+        assert Point(-1, 0).angle() == pytest.approx(math.pi)
+
+
+class TestHelpers:
+    def test_as_point_passthrough_and_coercion(self):
+        p = Point(1, 2)
+        assert as_point(p) is p
+        assert as_point((3, 4)) == Point(3.0, 4.0)
+
+    def test_midpoint_and_centroid(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+        assert centroid([Point(0, 0), Point(2, 0), Point(1, 3)]) == Point(1, 1)
+
+    def test_centroid_of_empty_collection_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_cross_and_orientation_signs(self):
+        assert cross(Point(1, 0), Point(0, 1)) == pytest.approx(1.0)
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, 1)) > 0
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, -1)) < 0
+
+    def test_collinear_detection(self):
+        assert collinear(Point(0, 0), Point(1, 1), Point(3, 3))
+        assert not collinear(Point(0, 0), Point(1, 1), Point(3, 3.5))
+
+    def test_is_close_with_tolerance(self):
+        assert Point(1, 1).is_close(Point(1 + 1e-12, 1 - 1e-12))
+        assert not Point(1, 1).is_close(Point(1.1, 1))
+
+    def test_as_tuple(self):
+        assert Point(2.5, -1.0).as_tuple() == (2.5, -1.0)

@@ -1,0 +1,123 @@
+"""Tests for polygons, convex hulls and half-plane clipping."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry import Line, Point, Polygon, convex_hull
+
+
+def unit_square() -> Polygon:
+    return Polygon([Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)])
+
+
+class TestPolygonBasics:
+    def test_needs_at_least_three_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_area_perimeter_centroid_of_square(self):
+        square = unit_square()
+        assert square.area() == pytest.approx(1.0)
+        assert square.perimeter() == pytest.approx(4.0)
+        assert square.centroid().is_close(Point(0.5, 0.5))
+
+    def test_signed_area_orientation(self):
+        counter_clockwise = unit_square()
+        clockwise = Polygon(list(reversed(counter_clockwise.vertices)))
+        assert counter_clockwise.signed_area() > 0
+        assert clockwise.signed_area() < 0
+        assert clockwise.area() == pytest.approx(counter_clockwise.area())
+
+    def test_bounding_box(self):
+        lower, upper = unit_square().bounding_box()
+        assert lower == Point(0, 0) and upper == Point(1, 1)
+
+    def test_edges_count(self):
+        assert len(unit_square().edges()) == 4
+
+
+class TestContainmentAndConvexity:
+    def test_contains_interior_boundary_and_exterior(self):
+        square = unit_square()
+        assert square.contains(Point(0.5, 0.5))
+        assert square.contains(Point(0.0, 0.5))  # boundary counts as inside
+        assert not square.contains(Point(1.5, 0.5))
+
+    def test_convexity_detection(self):
+        assert unit_square().is_convex()
+        concave = Polygon(
+            [Point(0, 0), Point(2, 0), Point(2, 2), Point(1, 0.5), Point(0, 2)]
+        )
+        assert not concave.is_convex()
+
+    def test_regular_polygon_approximates_ball(self):
+        polygon = Polygon.regular(Point(0, 0), 1.0, 64)
+        assert polygon.is_convex()
+        assert polygon.area() == pytest.approx(math.pi, rel=5e-3)
+        assert polygon.perimeter() == pytest.approx(2 * math.pi, rel=5e-3)
+
+    def test_regular_polygon_needs_three_sides(self):
+        with pytest.raises(GeometryError):
+            Polygon.regular(Point(0, 0), 1.0, 2)
+
+
+class TestClipping:
+    def test_clip_square_in_half(self):
+        square = unit_square()
+        vertical = Line.vertical(0.5)
+        left = square.clip_to_half_plane(vertical, keep_side=vertical.side(Point(0, 0)))
+        assert left is not None
+        assert left.area() == pytest.approx(0.5)
+
+    def test_clip_away_everything_returns_none(self):
+        square = unit_square()
+        line = Line.vertical(5.0)
+        side_away_from_square = line.side(Point(10, 0))
+        assert square.clip_to_half_plane(line, keep_side=side_away_from_square) is None
+
+    def test_clip_that_keeps_everything(self):
+        square = unit_square()
+        line = Line.vertical(5.0)
+        side_of_square = line.side(Point(0, 0))
+        clipped = square.clip_to_half_plane(line, keep_side=side_of_square)
+        assert clipped is not None
+        assert clipped.area() == pytest.approx(1.0)
+
+    def test_invalid_keep_side_rejected(self):
+        with pytest.raises(GeometryError):
+            unit_square().clip_to_half_plane(Line.vertical(0.5), keep_side=0)
+
+    def test_axis_aligned_box_validation(self):
+        with pytest.raises(GeometryError):
+            Polygon.axis_aligned_box(Point(1, 1), Point(0, 0))
+
+
+class TestConvexHull:
+    def test_hull_of_square_with_interior_points(self):
+        points = [
+            Point(0, 0),
+            Point(1, 0),
+            Point(1, 1),
+            Point(0, 1),
+            Point(0.5, 0.5),
+            Point(0.25, 0.75),
+        ]
+        hull = convex_hull(points)
+        assert len(hull) == 4
+        assert set((p.x, p.y) for p in hull) == {(0, 0), (1, 0), (1, 1), (0, 1)}
+
+    def test_hull_of_collinear_points(self):
+        hull = convex_hull([Point(0, 0), Point(1, 1), Point(2, 2)])
+        assert len(hull) == 2
+
+    def test_hull_of_two_points(self):
+        assert len(convex_hull([Point(0, 0), Point(1, 0)])) == 2
+
+    def test_hull_is_counter_clockwise(self):
+        hull = convex_hull([Point(0, 0), Point(2, 0), Point(1, 2), Point(1, 0.5)])
+        polygon = Polygon(hull)
+        assert polygon.signed_area() > 0

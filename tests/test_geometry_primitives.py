@@ -1,0 +1,189 @@
+"""Tests for balls, segments, lines and similarity transforms."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry import (
+    Ball,
+    Line,
+    Point,
+    Segment,
+    SimilarityTransform,
+    circle_intersection_points,
+    separation_line,
+)
+
+
+class TestBall:
+    def test_containment_predicates(self):
+        ball = Ball(Point(0, 0), 2.0)
+        assert ball.contains(Point(1, 1))
+        assert ball.contains(Point(2, 0))
+        assert not ball.contains(Point(2.1, 0))
+        assert ball.strictly_contains(Point(1, 0))
+        assert not ball.strictly_contains(Point(2, 0))
+        assert ball.on_boundary(Point(0, 2))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            Ball(Point(0, 0), -1.0)
+
+    def test_ball_containment_and_intersection(self):
+        big = Ball(Point(0, 0), 5.0)
+        small = Ball(Point(1, 0), 1.0)
+        far = Ball(Point(10, 0), 1.0)
+        assert big.contains_ball(small)
+        assert not small.contains_ball(big)
+        assert big.intersects_ball(small)
+        assert not big.intersects_ball(far)
+
+    def test_area_and_perimeter(self):
+        ball = Ball(Point(0, 0), 2.0)
+        assert ball.area() == pytest.approx(4.0 * math.pi)
+        assert ball.perimeter() == pytest.approx(4.0 * math.pi)
+
+    def test_boundary_sampling(self):
+        ball = Ball(Point(1, 1), 3.0)
+        samples = ball.sample_boundary(8)
+        assert len(samples) == 8
+        for sample in samples:
+            assert ball.on_boundary(sample, tolerance=1e-9)
+
+    def test_circle_intersection_two_points(self):
+        first = Ball(Point(0, 0), 2.0)
+        second = Ball(Point(2, 0), 2.0)
+        points = circle_intersection_points(first, second)
+        assert len(points) == 2
+        for point in points:
+            assert first.on_boundary(point) and second.on_boundary(point)
+
+    def test_circle_intersection_tangent_and_disjoint(self):
+        assert len(circle_intersection_points(Ball(Point(0, 0), 1), Ball(Point(2, 0), 1))) == 1
+        assert circle_intersection_points(Ball(Point(0, 0), 1), Ball(Point(5, 0), 1)) == []
+
+    def test_identical_circles_raise(self):
+        with pytest.raises(GeometryError):
+            circle_intersection_points(Ball(Point(0, 0), 1), Ball(Point(0, 0), 1))
+
+
+class TestSegment:
+    def test_length_midpoint_direction(self):
+        segment = Segment(Point(0, 0), Point(3, 4))
+        assert segment.length() == pytest.approx(5.0)
+        assert segment.midpoint() == Point(1.5, 2.0)
+        assert segment.direction() == Point(3, 4)
+
+    def test_point_at_and_sampling(self):
+        segment = Segment(Point(0, 0), Point(4, 0))
+        assert segment.point_at(0.25) == Point(1, 0)
+        samples = segment.sample(5)
+        assert samples[0] == Point(0, 0) and samples[-1] == Point(4, 0)
+        inner = segment.sample(3, include_endpoints=False)
+        assert all(0 < p.x < 4 for p in inner)
+
+    def test_contains(self):
+        segment = Segment(Point(0, 0), Point(2, 2))
+        assert segment.contains(Point(1, 1))
+        assert not segment.contains(Point(3, 3))
+        assert not segment.contains(Point(1, 1.5))
+
+    def test_closest_point_and_distance(self):
+        segment = Segment(Point(0, 0), Point(4, 0))
+        assert segment.closest_point(Point(2, 3)) == Point(2, 0)
+        assert segment.closest_point(Point(-2, 1)) == Point(0, 0)
+        assert segment.distance_to_point(Point(2, 3)) == pytest.approx(3.0)
+
+    def test_intersection(self):
+        first = Segment(Point(0, 0), Point(2, 2))
+        second = Segment(Point(0, 2), Point(2, 0))
+        assert first.intersection(second).is_close(Point(1, 1))
+        assert first.intersection(Segment(Point(0, 1), Point(2, 3))) is None
+
+    def test_degenerate_segment(self):
+        segment = Segment(Point(1, 1), Point(1, 1))
+        assert segment.is_degenerate()
+        assert segment.contains(Point(1, 1))
+        with pytest.raises(GeometryError):
+            segment.projection_parameter(Point(0, 0))
+
+
+class TestLine:
+    def test_through_two_points(self):
+        line = Line.through(Point(0, 0), Point(2, 2))
+        assert line.contains(Point(5, 5))
+        assert not line.contains(Point(1, 2))
+
+    def test_signed_distance_and_projection(self):
+        line = Line.horizontal(1.0)
+        assert abs(line.signed_distance(Point(0, 3))) == pytest.approx(2.0)
+        assert line.project(Point(5, 3)) == Point(5, 1)
+
+    def test_intersection_of_lines(self):
+        horizontal = Line.horizontal(2.0)
+        vertical = Line.vertical(3.0)
+        assert horizontal.intersection(vertical) == Point(3, 2)
+        assert horizontal.intersection(Line.horizontal(5.0)) is None
+
+    def test_side_classification(self):
+        line = Line.through(Point(0, 0), Point(1, 0))
+        assert line.side(Point(0, 1)) != line.side(Point(0, -1))
+        assert line.side(Point(5, 0)) == 0
+
+    def test_coincident_points_raise(self):
+        with pytest.raises(GeometryError):
+            Line.through(Point(1, 1), Point(1, 1))
+
+    def test_separation_line_is_perpendicular_bisector(self):
+        bisector = separation_line(Point(0, 0), Point(4, 0))
+        assert bisector.contains(Point(2, -7))
+        assert bisector.contains(Point(2, 12))
+        assert bisector.side(Point(0, 0)) != bisector.side(Point(4, 0))
+
+    def test_separation_line_of_coincident_points_raises(self):
+        with pytest.raises(GeometryError):
+            separation_line(Point(1, 1), Point(1, 1))
+
+
+class TestSimilarityTransform:
+    def test_identity(self):
+        transform = SimilarityTransform.identity()
+        assert transform.apply(Point(3, -2)) == Point(3, -2)
+
+    def test_translation_rotation_scaling(self):
+        assert SimilarityTransform.translation(Point(1, 2)).apply(Point(0, 0)) == Point(1, 2)
+        rotated = SimilarityTransform.rotation(math.pi / 2).apply(Point(1, 0))
+        assert rotated.is_close(Point(0, 1))
+        assert SimilarityTransform.scaling(3.0).apply(Point(1, 1)) == Point(3, 3)
+
+    def test_rotation_about_pivot(self):
+        transform = SimilarityTransform.rotation(math.pi, about=Point(1, 0))
+        assert transform.apply(Point(2, 0)).is_close(Point(0, 0))
+
+    def test_composition_matches_sequential_application(self):
+        first = SimilarityTransform.rotation(0.3)
+        second = SimilarityTransform.translation(Point(2, -1))
+        combined = second.compose(first)
+        p = Point(1.7, -0.4)
+        assert combined.apply(p).is_close(second.apply(first.apply(p)))
+
+    def test_inverse_round_trip(self):
+        transform = SimilarityTransform(angle=0.7, scale=2.5, offset=Point(3, -4))
+        inverse = transform.inverse()
+        p = Point(1.2, 3.4)
+        assert inverse.apply(transform.apply(p)).is_close(p, tolerance=1e-9)
+
+    def test_canonicalize_maps_source_to_origin_and_target_to_unit(self):
+        transform = SimilarityTransform.canonicalize(Point(2, 3), Point(5, 7))
+        assert transform.apply(Point(2, 3)).is_close(Point(0, 0))
+        assert transform.apply(Point(5, 7)).is_close(Point(1, 0))
+
+    def test_noise_factor_is_square_of_scale(self):
+        assert SimilarityTransform.scaling(3.0).noise_factor() == pytest.approx(9.0)
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(GeometryError):
+            SimilarityTransform(scale=0.0)

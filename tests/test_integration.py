@@ -1,0 +1,112 @@
+"""End-to-end integration tests spanning multiple subsystems."""
+
+from __future__ import annotations
+
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import Point, SINRDiagram, WirelessNetwork
+from repro.analysis import verify_network_convexity, verify_network_fatness
+from repro.diagrams import to_ascii, trace_zone_boundary
+from repro.graphs import ModelComparator, QuasiUnitDiskGraph
+from repro.pointlocation import (
+    PointLocationStructure,
+    VoronoiCandidateLocator,
+    ZoneLabel,
+)
+from repro.workloads import scenario, uniform_random_network
+
+EXAMPLES_DIRECTORY = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestEndToEndPipeline:
+    """Build a network, verify theorems, compare models and locate points."""
+
+    def test_full_pipeline_on_a_random_deployment(self):
+        network = uniform_random_network(
+            6, side=14.0, minimum_separation=2.5, noise=0.005, beta=2.5, seed=31
+        )
+        diagram = SINRDiagram(network)
+
+        # 1. Structural results hold on every zone.
+        convexity = verify_network_convexity(network, sample_points=30, max_pairs=120)
+        assert all(result.is_convex for result in convexity)
+        fatness = verify_network_fatness(network, angles=72)
+        assert all(result.satisfies_bound for result in fatness)
+
+        # 2. The SINR diagram and the point-location structure agree.
+        structure = PointLocationStructure(network, epsilon=0.45)
+        exact = VoronoiCandidateLocator(network)
+        rng = random.Random(41)
+        disagreements = 0
+        uncertain = 0
+        for _ in range(600):
+            point = Point(rng.uniform(-3, 17), rng.uniform(-3, 17))
+            answer = structure.locate(point)
+            truth = exact.locate(point)
+            if answer.label is ZoneLabel.UNCERTAIN:
+                uncertain += 1
+            elif answer.label is ZoneLabel.INSIDE and truth != answer.station:
+                disagreements += 1
+            elif answer.label is ZoneLabel.OUTSIDE and truth is not None:
+                disagreements += 1
+        assert disagreements == 0
+        assert uncertain < 60
+
+        # 3. The graph-based baseline disagrees with the SINR model somewhere.
+        comparator = ModelComparator(network, udg_radius=4.0)
+        summary = comparator.summarize_grid(
+            Point(0, 0), Point(14, 14), sender=0, resolution=30
+        )
+        assert summary.total == 900
+        assert 0.0 <= summary.disagreement_fraction < 1.0
+
+        # 4. Diagram rendering works end to end.
+        raster = diagram.rasterize(*diagram.default_bounding_box(), resolution=80)
+        art = to_ascii(raster, station_locations=network.locations())
+        assert len(art.splitlines()) > 20
+
+    def test_scenario_catalogue_round_trip(self):
+        network = scenario("grid").network()
+        diagram = SINRDiagram(network)
+        zone = diagram.zone(4)  # the centre station of the 3x3 grid
+        boundary = trace_zone_boundary(zone, vertices=48)
+        assert len(boundary) == 49
+        qudg = QuasiUnitDiskGraph.from_sinr_network(network, angles=48)
+        assert qudg.inner_radius <= qudg.outer_radius
+
+    def test_moving_and_silencing_stations_changes_reception(self):
+        """The Figure 1 dynamic replayed on the library's immutable networks."""
+        base = WirelessNetwork.uniform(
+            [(-3.1, 1.7), (0.9, 1.3), (-3.2, 3.5)], noise=0.02, beta=1.5
+        )
+        receiver = Point(1.0, -1.0)
+        assert SINRDiagram(base).station_heard_at(receiver) == 1
+
+        moved = base.with_station_moved(0, Point(2.2, -2.2))
+        assert SINRDiagram(moved).station_heard_at(receiver) is None
+
+        silenced = moved.without_station(2)
+        assert SINRDiagram(silenced).station_heard_at(receiver) == 0
+
+
+class TestExamplesRun:
+    """The shipped examples must execute successfully as scripts."""
+
+    @pytest.mark.parametrize(
+        "script",
+        ["quickstart.py", "udg_vs_sinr.py", "fatness_study.py"],
+    )
+    def test_example_script_runs(self, script):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIRECTORY / script)],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip()

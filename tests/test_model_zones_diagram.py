@@ -1,0 +1,168 @@
+"""Tests for reception zones and SINR diagrams."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro import NO_RECEPTION, Point, ReceptionZone, SINRDiagram, WirelessNetwork
+from repro.exceptions import DiagramError, NetworkConfigurationError
+
+
+class TestReceptionZone:
+    def test_membership_matches_network_rule(self, noisy_network):
+        zone = ReceptionZone(network=noisy_network, index=0)
+        rng = random.Random(4)
+        for _ in range(200):
+            point = Point(rng.uniform(-5, 8), rng.uniform(-5, 8))
+            assert zone.contains(point) == noisy_network.is_received(0, point)
+        assert Point(0.2, 0.1) in zone
+
+    def test_invalid_index_rejected(self, noisy_network):
+        with pytest.raises(NetworkConfigurationError):
+            ReceptionZone(network=noisy_network, index=99)
+
+    def test_degenerate_zone(self):
+        network = WirelessNetwork.uniform([(0, 0), (0, 0), (4, 0)], beta=2.0)
+        zone = ReceptionZone(network=network, index=0)
+        assert zone.is_degenerate
+        assert zone.inscribed_radius() == 0.0
+        assert zone.area_estimate() == 0.0
+        with pytest.raises(NetworkConfigurationError):
+            zone.boundary_polygon()
+
+    def test_boundary_distance_bisection(self, two_station_network):
+        zone = ReceptionZone(network=two_station_network, index=0)
+        # The zone of s0 is the Apollonius disk d0 <= d1 / sqrt(2) whose
+        # rightmost boundary point on the x-axis is at x = 4/(sqrt(2)+1).
+        expected = 4.0 / (math.sqrt(2.0) + 1.0)
+        assert zone.boundary_distance_along_ray(0.0) == pytest.approx(expected, abs=1e-6)
+        # Leftmost boundary point at distance 4/(sqrt(2)-1).
+        expected_far = 4.0 / (math.sqrt(2.0) - 1.0)
+        assert zone.boundary_distance_along_ray(math.pi) == pytest.approx(
+            expected_far, abs=1e-5
+        )
+
+    def test_boundary_points_lie_on_the_boundary(self, noisy_network):
+        zone = ReceptionZone(network=noisy_network, index=0)
+        polynomial = noisy_network.reception_polynomial(0)
+        for k in range(12):
+            point = zone.boundary_point_along_ray(2 * math.pi * k / 12)
+            scale = max(abs(polynomial(point.x + 1, point.y)), 1.0)
+            assert abs(polynomial.evaluate_at_point(point)) <= 1e-4 * scale
+
+    def test_boundary_polygon_is_convex_for_beta_above_one(self, noisy_network):
+        zone = ReceptionZone(network=noisy_network, index=0)
+        polygon = zone.boundary_polygon(vertices=90)
+        assert polygon.is_convex(tolerance=1e-7)
+
+    def test_fatness_measurement_respects_theorem_2(self, noisy_network):
+        zone = ReceptionZone(network=noisy_network, index=0)
+        measurement = zone.fatness(angles=120)
+        bound = (math.sqrt(noisy_network.beta) + 1) / (math.sqrt(noisy_network.beta) - 1)
+        assert 1.0 <= measurement.fatness <= bound + 1e-6
+
+    def test_two_station_exact_radii(self, two_station_network):
+        # Section 4.2.1: delta = kappa/(sqrt(beta)+1), Delta = kappa/(sqrt(beta)-1).
+        zone = ReceptionZone(network=two_station_network, index=0)
+        measurement = zone.fatness(angles=256)
+        beta, kappa = 2.0, 4.0
+        assert measurement.delta == pytest.approx(kappa / (math.sqrt(beta) + 1), rel=1e-3)
+        assert measurement.Delta == pytest.approx(kappa / (math.sqrt(beta) - 1), rel=1e-3)
+
+    def test_area_and_perimeter_estimates(self, two_station_network):
+        zone = ReceptionZone(network=two_station_network, index=0)
+        # The zone is the Apollonius disk of radius sqrt(32).
+        radius = math.sqrt(32.0)
+        assert zone.area_estimate(vertices=720) == pytest.approx(
+            math.pi * radius * radius, rel=2e-2
+        )
+        assert zone.perimeter_estimate(vertices=720) == pytest.approx(
+            2 * math.pi * radius, rel=2e-2
+        )
+
+    def test_search_radius_bounds_the_zone(self, noisy_network):
+        zone = ReceptionZone(network=noisy_network, index=0)
+        radius = zone.search_radius()
+        center = zone.station_location
+        for k in range(16):
+            angle = 2 * math.pi * k / 16
+            probe = Point(
+                center.x + radius * 1.01 * math.cos(angle),
+                center.y + radius * 1.01 * math.sin(angle),
+            )
+            assert not zone.contains(probe)
+
+
+class TestSINRDiagram:
+    def test_zone_accessors(self, noisy_diagram):
+        assert len(noisy_diagram) == 5
+        assert len(noisy_diagram.zones) == 5
+        assert noisy_diagram.zone(2).index == 2
+
+    def test_station_heard_at_matches_zones(self, noisy_diagram, noisy_network):
+        rng = random.Random(8)
+        for _ in range(150):
+            point = Point(rng.uniform(-5, 8), rng.uniform(-5, 8))
+            heard = noisy_diagram.station_heard_at(point)
+            memberships = [
+                noisy_network.is_received(i, point) for i in range(len(noisy_network))
+            ]
+            if heard is None:
+                assert not any(memberships)
+            else:
+                assert memberships[heard]
+
+    def test_reception_vector(self, noisy_diagram):
+        vector = noisy_diagram.reception_vector(Point(0.2, 0.1))
+        assert vector[0] is True
+        assert sum(vector) == 1
+
+    def test_rasterize_shapes_and_labels(self, noisy_diagram):
+        raster = noisy_diagram.rasterize(Point(-5, -5), Point(8, 8), resolution=60)
+        rows, columns = raster.resolution
+        assert raster.labels.shape == (rows, columns)
+        assert raster.sinr_values.shape == (5, rows, columns)
+        assert set(raster.labels.flatten()).issubset(set(range(5)) | {NO_RECEPTION})
+        assert 0.0 < raster.coverage_fraction() < 1.0
+        assert raster.pixel_area() > 0.0
+
+    def test_rasterize_validation(self, noisy_diagram):
+        with pytest.raises(DiagramError):
+            noisy_diagram.rasterize(Point(0, 0), Point(0, 5), resolution=50)
+        with pytest.raises(DiagramError):
+            noisy_diagram.rasterize(Point(0, 0), Point(5, 5), resolution=1)
+
+    def test_raster_zone_area_close_to_analytic(self, two_station_network):
+        diagram = SINRDiagram(two_station_network)
+        raster = diagram.rasterize(Point(-16, -12), Point(8, 12), resolution=400)
+        expected = math.pi * 32.0  # Apollonius disk of radius sqrt(32)
+        assert raster.zone_area(0) == pytest.approx(expected, rel=5e-2)
+
+    def test_raster_label_at(self, noisy_diagram):
+        raster = noisy_diagram.rasterize(Point(-5, -5), Point(8, 8), resolution=80)
+        assert raster.label_at(Point(0.0, 0.2)) == 0
+
+    def test_default_bounding_box_contains_all_stations(self, noisy_diagram, noisy_network):
+        lower_left, upper_right = noisy_diagram.default_bounding_box()
+        for station in noisy_network.stations:
+            assert lower_left.x <= station.x <= upper_right.x
+            assert lower_left.y <= station.y <= upper_right.y
+
+    def test_summary_structure(self, noisy_diagram):
+        summary = noisy_diagram.summary(resolution=80)
+        assert set(summary) == {"network", "zone_areas", "coverage_fraction", "fatness"}
+        assert len(summary["zone_areas"]) == 5
+
+    def test_beta_below_one_allows_overlapping_zones(self, sub_unit_beta_network):
+        diagram = SINRDiagram(sub_unit_beta_network)
+        rng = random.Random(5)
+        overlapping = 0
+        for _ in range(400):
+            point = Point(rng.uniform(-5, 5), rng.uniform(-5, 5))
+            vector = diagram.reception_vector(point)
+            if sum(vector) > 1:
+                overlapping += 1
+        assert overlapping > 0

@@ -1,0 +1,121 @@
+"""Tests for the workload generators and the scenario catalogue."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import Point, WirelessNetwork
+from repro.exceptions import NetworkConfigurationError
+from repro.workloads import (
+    SCENARIOS,
+    clustered_network,
+    colinear_network,
+    grid_network,
+    point_location_networks,
+    random_query_points,
+    ring_network,
+    scenario,
+    scenario_names,
+    theorem_verification_networks,
+    two_station_network,
+    uniform_random_network,
+)
+
+
+class TestGenerators:
+    def test_uniform_random_network_properties(self):
+        network = uniform_random_network(
+            8, side=20.0, minimum_separation=2.0, beta=3.0, seed=1
+        )
+        assert len(network) == 8
+        assert network.is_uniform_power()
+        for a, b in itertools.combinations(network.locations(), 2):
+            assert a.distance_to(b) >= 2.0
+        for location in network.locations():
+            assert 0.0 <= location.x <= 20.0 and 0.0 <= location.y <= 20.0
+
+    def test_uniform_random_network_is_deterministic_per_seed(self):
+        first = uniform_random_network(5, seed=42)
+        second = uniform_random_network(5, seed=42)
+        different = uniform_random_network(5, seed=43)
+        assert first.locations() == second.locations()
+        assert first.locations() != different.locations()
+
+    def test_infeasible_density_raises(self):
+        with pytest.raises(NetworkConfigurationError):
+            uniform_random_network(
+                50, side=1.0, minimum_separation=5.0, max_attempts=500
+            )
+
+    def test_clustered_network(self):
+        network = clustered_network(3, 4, seed=7)
+        assert len(network) == 12
+
+    def test_ring_and_grid_networks(self):
+        ring = ring_network(6, radius=5.0)
+        assert len(ring) == 6
+        center = Point(0.0, 0.0)
+        for location in ring.locations():
+            assert location.distance_to(center) == pytest.approx(5.0)
+        grid = grid_network(2, 3, spacing=2.0)
+        assert len(grid) == 6
+        assert Point(4.0, 2.0) in grid.locations()
+
+    def test_colinear_network_is_positive_colinear(self):
+        network = colinear_network(5, spacing=1.5)
+        assert network.locations()[0] == Point(0.0, 0.0)
+        for location in network.locations()[1:]:
+            assert location.y == 0.0 and location.x > 0.0
+
+    def test_two_station_network(self):
+        network = two_station_network(separation=3.0, power_ratio=2.0, beta=2.0)
+        assert len(network) == 2
+        assert network.station(1).power == 2.0
+        with pytest.raises(NetworkConfigurationError):
+            two_station_network(separation=0.0)
+
+    def test_random_query_points(self):
+        points = random_query_points(50, Point(0, 0), Point(2, 3), seed=5)
+        assert len(points) == 50
+        assert all(0 <= p.x <= 2 and 0 <= p.y <= 3 for p in points)
+        assert points == random_query_points(50, Point(0, 0), Point(2, 3), seed=5)
+
+    def test_validation_of_small_inputs(self):
+        with pytest.raises(NetworkConfigurationError):
+            uniform_random_network(1)
+        with pytest.raises(NetworkConfigurationError):
+            ring_network(1)
+        with pytest.raises(NetworkConfigurationError):
+            colinear_network(1)
+        with pytest.raises(NetworkConfigurationError):
+            grid_network(1, 1)
+
+
+class TestScenarioCatalogue:
+    def test_every_scenario_builds_a_valid_network(self):
+        for name in scenario_names():
+            network = scenario(name).network()
+            assert isinstance(network, WirelessNetwork)
+            assert len(network) >= 2
+            assert network.is_uniform_power()
+
+    def test_scenarios_are_deterministic(self):
+        first = scenario("small-random").network()
+        second = scenario("small-random").network()
+        assert first.locations() == second.locations()
+
+    def test_catalogue_contents(self):
+        assert "small-random" in SCENARIOS
+        assert "colinear" in SCENARIOS
+        assert len(scenario_names()) == len(SCENARIOS)
+
+    def test_curated_benchmark_lists(self):
+        theorem_networks = theorem_verification_networks()
+        assert len(theorem_networks) >= 5
+        for name, network in theorem_networks:
+            assert name in SCENARIOS
+            assert network.beta > 1.0
+        location_networks = point_location_networks()
+        assert all(network.beta > 1.0 for _, network in location_networks)
