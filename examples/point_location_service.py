@@ -19,13 +19,18 @@ from __future__ import annotations
 import time
 
 from repro import Point
+from repro.engine import locate_batch
 from repro.pointlocation import (
     BruteForceLocator,
     PointLocationStructure,
     VoronoiCandidateLocator,
     ZoneLabel,
 )
-from repro.workloads import random_query_points, uniform_random_network
+from repro.workloads import (
+    random_query_array,
+    random_query_points,
+    uniform_random_network,
+)
 
 
 def main() -> None:
@@ -58,10 +63,14 @@ def main() -> None:
     # ------------------------------------------------------------------
     print(f"\n{'epsilon':>8} {'build s':>9} {'cells':>8} {'query us':>9} "
           f"{'uncertain %':>12} {'wrong':>6}")
+    batch_structure = None
     for epsilon in (0.5, 0.3, 0.15):
         start = time.perf_counter()
         structure = PointLocationStructure(network, epsilon=epsilon)
         build_seconds = time.perf_counter() - start
+        if epsilon == 0.3:
+            # Reused below for the batched-throughput comparison.
+            batch_structure = structure
 
         start = time.perf_counter()
         answers = structure.locate_many(queries)
@@ -86,6 +95,35 @@ def main() -> None:
     print("\nper-query time of the exact baselines:")
     print(f"  Voronoi-candidate (O(n)) : {voronoi_seconds / len(queries) * 1e6:8.2f} us")
     print(f"  brute force (O(n^2))     : {brute_seconds / len(queries) * 1e6:8.2f} us")
+
+    # ------------------------------------------------------------------
+    # Batched queries: the same workload as one coordinate array through
+    # the engine's locate_batch fast paths.
+    # ------------------------------------------------------------------
+    query_array = random_query_array(
+        len(queries), Point(-4.0, -4.0), Point(20.0, 20.0), seed=99
+    )
+
+    print(f"\nbatched vs scalar throughput over {len(queries)} queries:")
+    print(f"{'locator':>24} {'scalar q/s':>12} {'batch q/s':>12} {'speedup':>8}")
+    for name, locator, scalar_seconds in (
+        ("Voronoi-candidate", voronoi, voronoi_seconds),
+        ("grid structure (DS)", batch_structure, None),
+    ):
+        if scalar_seconds is None:
+            start = time.perf_counter()
+            for query in queries:
+                locator.locate(query)
+            scalar_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        batch_answers = locate_batch(locator, query_array)
+        batch_seconds = time.perf_counter() - start
+        print(
+            f"{name:>24} {len(queries) / scalar_seconds:>12.0f} "
+            f"{len(queries) / batch_seconds:>12.0f} "
+            f"{scalar_seconds / batch_seconds:>7.1f}x"
+        )
+
     print(
         "\nthe certified answers (inside/outside) of the grid structure are "
         "always consistent with the exact locator; only the thin uncertainty "

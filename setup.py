@@ -1,11 +1,28 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Setuptools entry point (also usable in fully offline environments).
 
-The canonical project metadata lives in ``pyproject.toml``; this file only
-exists so that ``pip install -e .`` / ``python setup.py develop`` work in
-fully offline environments where PEP 660 editable installs (which require the
-``wheel`` package) are unavailable.
+Kept as an executable ``setup.py`` (rather than PEP 621 metadata only) so
+that ``pip install -e .`` / ``python setup.py develop`` work without the
+``wheel`` package, which PEP 660 editable installs would require.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-sinr-diagrams",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'SINR Diagrams: Towards Algorithmically Usable "
+        "SINR Models of Wireless Networks' (PODC 2009) with a batched "
+        "query engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+        ],
+    },
+)

@@ -9,12 +9,16 @@ lives in the subpackages:
 * :mod:`repro.geometry` — planar geometry substrate,
 * :mod:`repro.algebra` — polynomials, Sturm sequences, reception polynomials,
 * :mod:`repro.model` — stations, networks, reception zones, SINR diagrams,
+* :mod:`repro.engine` — the batched query engine (vectorised SINR kernels,
+  pluggable backends, bulk point-location),
 * :mod:`repro.graphs` — graph-based baselines (UDG, Quasi-UDG, ...),
 * :mod:`repro.pointlocation` — the approximate point-location structure,
 * :mod:`repro.analysis` — convexity / fatness / theorem verification,
 * :mod:`repro.diagrams` — raster diagrams, contours, exports, paper figures,
 * :mod:`repro.workloads` — network generators and benchmark scenarios.
 """
+
+from . import engine
 
 from .exceptions import (
     AlgebraError,
@@ -55,4 +59,5 @@ __all__ = [
     "Station",
     "WirelessNetwork",
     "__version__",
+    "engine",
 ]

@@ -1,0 +1,92 @@
+"""repro.engine — the batched query engine.
+
+Scalar queries (:meth:`WirelessNetwork.sinr`, ``locator.locate``) cost a
+Python function call per station per point; at production scale ("which
+access point do these 10^6 handset positions hear?") that is the whole
+budget.  This package is the bulk substrate the rest of the library routes
+through:
+
+Architecture
+============
+
+``kernels.py``
+    Fully vectorised NumPy SINR kernels over raw coordinate arrays — the
+    pairwise energy matrix, interference, the SINR matrix, strongest-station
+    argmax and reception masks.  Everything here is array-in / array-out and
+    has no knowledge of the model layer's classes.
+
+``backend.py``
+    The pluggable backend protocol (:class:`QueryBackend`).  A backend is any
+    object implementing the five kernel entry points; the ``"numpy"`` backend
+    wraps ``kernels.py`` and is the default, the ``"reference"`` backend
+    loops the scalar model functions in pure Python and serves as ground
+    truth for equivalence tests.  Switch with::
+
+        from repro.engine import use_backend
+        use_backend("reference")            # global
+        with use_backend("numpy"): ...      # scoped
+
+    New backends (numba, multiprocess, GPU) register via
+    :func:`register_backend` and become selectable everywhere at once.
+
+``batch.py``
+    The uniform batch query API consumed by the model, point-location,
+    analysis and workload layers: :func:`sinr_batch`,
+    :func:`heard_station_batch`, :func:`received_mask`,
+    :func:`strongest_station_batch` and :func:`locate_batch` (which
+    dispatches to a locator's native ``locate_batch`` fast path when
+    present).  Query points may be an ``(m, 2)`` array, a sequence of
+    :class:`Point` or ``(x, y)`` tuples.
+
+Semantics
+=========
+
+Batch answers agree *pointwise* with the scalar code paths, including the
+edge cases: energies are ``+inf`` at (or overflow-close to) a station
+location, a point occupied by stations is received exactly by the co-located
+stations (and *heard* by the first of them), and no NaN ever leaks out of
+the SINR matrix at coincident points.  The property tests in ``tests/test_engine.py`` enforce
+scalar/batch and numpy/reference agreement on randomized networks.
+"""
+
+from .backend import (
+    NumpyBackend,
+    QueryBackend,
+    ReferenceBackend,
+    active_backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    use_backend,
+)
+from .batch import (
+    NO_RECEPTION,
+    as_points_array,
+    energy_batch,
+    heard_station_batch,
+    locate_batch,
+    received_mask,
+    sinr_batch,
+    strongest_station_batch,
+)
+from . import kernels
+
+__all__ = [
+    "NO_RECEPTION",
+    "NumpyBackend",
+    "QueryBackend",
+    "ReferenceBackend",
+    "active_backend",
+    "as_points_array",
+    "available_backends",
+    "energy_batch",
+    "get_backend",
+    "heard_station_batch",
+    "kernels",
+    "locate_batch",
+    "received_mask",
+    "register_backend",
+    "sinr_batch",
+    "strongest_station_batch",
+    "use_backend",
+]

@@ -1,0 +1,285 @@
+"""Pluggable compute backends for the batched query engine.
+
+A backend turns raw coordinate arrays into SINR quantities.  Two ship with
+the library:
+
+* ``"numpy"`` — the fully vectorised kernels of :mod:`repro.engine.kernels`
+  (the default, and the fast path every consumer uses);
+* ``"reference"`` — a pure-Python backend that loops over the scalar model
+  functions (:mod:`repro.model.sinr`).  It is deliberately slow and exists as
+  ground truth: the property tests assert that both backends agree on random
+  networks, so any future backend (numba, multiprocess, GPU) can be validated
+  against it through the same protocol.
+
+Select a backend globally with :func:`use_backend` (also usable as a context
+manager) or per call via the ``backend=`` argument of the
+:mod:`repro.engine.batch` functions::
+
+    from repro.engine import use_backend
+
+    use_backend("reference")          # global, until changed back
+    with use_backend("numpy"):        # scoped
+        ...
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..exceptions import ReproError
+from . import kernels
+
+__all__ = [
+    "QueryBackend",
+    "NumpyBackend",
+    "ReferenceBackend",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "active_backend",
+    "use_backend",
+]
+
+
+@runtime_checkable
+class QueryBackend(Protocol):
+    """The contract every engine backend implements.
+
+    All methods take station coordinates ``(n, 2)``, powers ``(n,)`` and
+    query points ``(m, 2)`` as float arrays and return arrays with the
+    coincident-point semantics documented in :mod:`repro.engine.kernels`.
+    """
+
+    name: str
+
+    def energy_matrix(
+        self, coords: np.ndarray, powers: np.ndarray, points: np.ndarray, alpha: float
+    ) -> np.ndarray: ...
+
+    def sinr_matrix(
+        self,
+        coords: np.ndarray,
+        powers: np.ndarray,
+        points: np.ndarray,
+        noise: float,
+        alpha: float,
+    ) -> np.ndarray: ...
+
+    def strongest_station(
+        self, coords: np.ndarray, powers: np.ndarray, points: np.ndarray, alpha: float
+    ) -> np.ndarray: ...
+
+    def received_mask_matrix(
+        self,
+        coords: np.ndarray,
+        powers: np.ndarray,
+        points: np.ndarray,
+        noise: float,
+        beta: float,
+        alpha: float,
+    ) -> np.ndarray: ...
+
+    def heard_station(
+        self,
+        coords: np.ndarray,
+        powers: np.ndarray,
+        points: np.ndarray,
+        noise: float,
+        beta: float,
+        alpha: float,
+        no_reception: int,
+    ) -> np.ndarray: ...
+
+
+class NumpyBackend:
+    """The vectorised default backend (thin façade over the kernels)."""
+
+    name = "numpy"
+
+    def energy_matrix(self, coords, powers, points, alpha):
+        return kernels.energy_matrix(coords, powers, points, alpha)
+
+    def sinr_matrix(self, coords, powers, points, noise, alpha):
+        return kernels.sinr_matrix(coords, powers, points, noise, alpha)
+
+    def strongest_station(self, coords, powers, points, alpha):
+        return kernels.strongest_station(coords, powers, points, alpha)
+
+    def received_mask_matrix(self, coords, powers, points, noise, beta, alpha):
+        return kernels.received_mask_matrix(coords, powers, points, noise, beta, alpha)
+
+    def heard_station(self, coords, powers, points, noise, beta, alpha, no_reception):
+        return kernels.heard_station(
+            coords, powers, points, noise, beta, alpha, no_reception
+        )
+
+
+class ReferenceBackend:
+    """Pure-Python ground-truth backend built on the scalar model functions.
+
+    Roughly two orders of magnitude slower than the numpy backend; used only
+    for equivalence testing and debugging.
+    """
+
+    name = "reference"
+
+    @staticmethod
+    def _scalar_energy(sx, sy, power, px, py, alpha):
+        from ..geometry.point import Point
+        from ..model.sinr import received_energy
+
+        return received_energy(Point(sx, sy), power, Point(px, py), alpha)
+
+    def energy_matrix(self, coords, powers, points, alpha):
+        n, m = len(coords), len(points)
+        out = np.empty((n, m), dtype=float)
+        for i in range(n):
+            for j in range(m):
+                out[i, j] = self._scalar_energy(
+                    coords[i, 0], coords[i, 1], powers[i],
+                    points[j, 0], points[j, 1], alpha,
+                )
+        return out
+
+    @staticmethod
+    def _coincident(coords, px, py):
+        """Indices of stations exactly at ``(px, py)`` (coordinate equality)."""
+        return [
+            i
+            for i in range(len(coords))
+            if coords[i, 0] == px and coords[i, 1] == py
+        ]
+
+    def sinr_matrix(self, coords, powers, points, noise, alpha):
+        energies = self.energy_matrix(coords, powers, points, alpha)
+        n, m = energies.shape
+        out = np.empty((n, m), dtype=float)
+        for j in range(m):
+            column = energies[:, j]
+            coincident = self._coincident(coords, points[j, 0], points[j, 1])
+            if coincident:
+                out[:, j] = 0.0
+                out[coincident[0], j] = math.inf
+                continue
+            finite_total = sum(e for e in column if not math.isinf(e))
+            overflowed = any(math.isinf(e) for e in column)
+            for i in range(n):
+                if math.isinf(column[i]):
+                    out[i, j] = math.inf
+                elif overflowed:
+                    out[i, j] = 0.0
+                else:
+                    denominator = finite_total - column[i] + noise
+                    out[i, j] = (
+                        column[i] / denominator if denominator > 0.0 else math.inf
+                    )
+        return out
+
+    def strongest_station(self, coords, powers, points, alpha):
+        energies = self.energy_matrix(coords, powers, points, alpha)
+        m = energies.shape[1]
+        out = np.empty(m, dtype=np.intp)
+        for j in range(m):
+            best, best_energy = 0, -math.inf
+            for i in range(energies.shape[0]):
+                if energies[i, j] > best_energy:
+                    best, best_energy = i, energies[i, j]
+            out[j] = best
+        return out
+
+    def _mask_from_ratio(self, ratio, coords, points, beta):
+        n, m = ratio.shape
+        mask = np.zeros((n, m), dtype=bool)
+        for j in range(m):
+            coincident = self._coincident(coords, points[j, 0], points[j, 1])
+            if coincident:
+                for i in coincident:
+                    mask[i, j] = True
+                continue
+            for i in range(n):
+                mask[i, j] = ratio[i, j] >= beta
+        return mask
+
+    def received_mask_matrix(self, coords, powers, points, noise, beta, alpha):
+        ratio = self.sinr_matrix(coords, powers, points, noise, alpha)
+        return self._mask_from_ratio(ratio, coords, points, beta)
+
+    def heard_station(self, coords, powers, points, noise, beta, alpha, no_reception):
+        ratio = self.sinr_matrix(coords, powers, points, noise, alpha)
+        mask = self._mask_from_ratio(ratio, coords, points, beta)
+        m = ratio.shape[1]
+        out = np.full(m, no_reception, dtype=np.intp)
+        for j in range(m):
+            candidates = [i for i in range(ratio.shape[0]) if mask[i, j]]
+            if candidates:
+                out[j] = max(candidates, key=lambda i: (ratio[i, j], -i))
+        return out
+
+
+_BACKENDS: Dict[str, QueryBackend] = {}
+_active: QueryBackend
+
+
+def register_backend(name: str, backend: QueryBackend) -> None:
+    """Register a backend under ``name`` (overwriting any previous one)."""
+    _BACKENDS[name] = backend
+
+
+def available_backends() -> Dict[str, QueryBackend]:
+    """Name -> backend mapping of everything registered."""
+    return dict(_BACKENDS)
+
+
+def get_backend(name: "str | QueryBackend | None" = None) -> QueryBackend:
+    """Resolve a backend: None -> the active one, a str -> by name, else as-is."""
+    if name is None:
+        return _active
+    if isinstance(name, str):
+        try:
+            return _BACKENDS[name]
+        except KeyError:
+            raise ReproError(
+                f"unknown engine backend {name!r}; "
+                f"available: {sorted(_BACKENDS)}"
+            ) from None
+    return name
+
+
+def active_backend() -> QueryBackend:
+    """The backend batch queries use when none is passed explicitly."""
+    return _active
+
+
+class _BackendSelection:
+    """Result of :func:`use_backend`: effective immediately, optional context manager."""
+
+    def __init__(self, previous: QueryBackend, selected: QueryBackend):
+        self._previous = previous
+        self.backend = selected
+
+    def __enter__(self) -> QueryBackend:
+        return self.backend
+
+    def __exit__(self, *exc_info) -> None:
+        global _active
+        _active = self._previous
+
+
+def use_backend(name: "str | QueryBackend") -> _BackendSelection:
+    """Make ``name`` the active backend.
+
+    The switch takes effect immediately and persists; when the return value is
+    used as a context manager, the previous backend is restored on exit.
+    """
+    global _active
+    selection = _BackendSelection(_active, get_backend(name))
+    _active = selection.backend
+    return selection
+
+
+register_backend("numpy", NumpyBackend())
+register_backend("reference", ReferenceBackend())
+_active = _BACKENDS["numpy"]

@@ -1,0 +1,180 @@
+"""The uniform batch query API of the engine.
+
+These functions are the one entry point every layer uses for bulk queries.
+They accept a :class:`~repro.model.network.WirelessNetwork` plus query points
+in any reasonable form — a ``(m, 2)`` numpy array, a sequence of
+:class:`~repro.geometry.point.Point`, or a sequence of ``(x, y)`` tuples —
+and return numpy arrays.  Computation is delegated to the active
+:mod:`backend <repro.engine.backend>` (or an explicitly passed one).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .backend import QueryBackend, get_backend
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..geometry.point import Point
+    from ..model.network import WirelessNetwork
+
+__all__ = [
+    "NO_RECEPTION",
+    "PointsLike",
+    "as_points_array",
+    "energy_batch",
+    "sinr_batch",
+    "strongest_station_batch",
+    "received_mask",
+    "heard_station_batch",
+    "locate_batch",
+]
+
+#: Label returned by :func:`heard_station_batch` where no station is heard
+#: (matches :data:`repro.model.diagram.NO_RECEPTION`).
+NO_RECEPTION = -1
+
+PointsLike = Union[np.ndarray, Sequence["Point"], Sequence[Sequence[float]]]
+
+
+def as_points_array(points: PointsLike) -> np.ndarray:
+    """Coerce query points into a float array of shape ``(m, 2)``.
+
+    Accepts an ``(m, 2)`` array (returned as float, uncopied when possible),
+    a single ``Point`` / 2-tuple (promoted to shape ``(1, 2)``), or any
+    sequence of points / 2-sequences.  An empty sequence yields ``(0, 2)``.
+    """
+    if isinstance(points, np.ndarray):
+        array = np.asarray(points, dtype=float)
+        if array.ndim == 1 and array.shape == (2,):
+            return array.reshape(1, 2)
+        if array.ndim != 2 or array.shape[1] != 2:
+            raise ValueError(
+                f"expected points of shape (m, 2), got {array.shape}"
+            )
+        return array
+    seq = list(points)
+    if not seq:
+        return np.empty((0, 2), dtype=float)
+    first = seq[0]
+    if isinstance(first, float) or isinstance(first, int):
+        # A bare (x, y) pair.
+        if len(seq) != 2:
+            raise ValueError("a single point must be a pair (x, y)")
+        return np.array([seq], dtype=float)
+    return np.array([(p[0], p[1]) for p in seq], dtype=float)
+
+
+def energy_batch(
+    network: "WirelessNetwork",
+    points: PointsLike,
+    backend: "str | QueryBackend | None" = None,
+) -> np.ndarray:
+    """Received-energy matrix of shape ``(n_stations, m)`` (``inf`` at stations)."""
+    engine = get_backend(backend)
+    pts = as_points_array(points)
+    return engine.energy_matrix(
+        network.coords, network.powers_array(), pts, network.alpha
+    )
+
+
+def sinr_batch(
+    network: "WirelessNetwork",
+    points: PointsLike,
+    target_index: Optional[int] = None,
+    backend: "str | QueryBackend | None" = None,
+) -> np.ndarray:
+    """SINR values in bulk.
+
+    Returns the full ``(n_stations, m)`` matrix, or the row of one station
+    when ``target_index`` is given.  Away from station locations the values
+    agree with the scalar :meth:`WirelessNetwork.sinr`; the coincident-point
+    convention is documented in :mod:`repro.engine.kernels`.
+    """
+    engine = get_backend(backend)
+    pts = as_points_array(points)
+    matrix = engine.sinr_matrix(
+        network.coords, network.powers_array(), pts, network.noise, network.alpha
+    )
+    if target_index is None:
+        return matrix
+    return matrix[target_index]
+
+
+def strongest_station_batch(
+    network: "WirelessNetwork",
+    points: PointsLike,
+    backend: "str | QueryBackend | None" = None,
+) -> np.ndarray:
+    """Index of the strongest (Voronoi, under uniform power) station per point."""
+    engine = get_backend(backend)
+    pts = as_points_array(points)
+    return engine.strongest_station(
+        network.coords, network.powers_array(), pts, network.alpha
+    )
+
+
+def received_mask(
+    network: "WirelessNetwork",
+    index: int,
+    points: PointsLike,
+    backend: "str | QueryBackend | None" = None,
+) -> np.ndarray:
+    """Boolean array: is station ``index`` received at each point?
+
+    Agrees pointwise with :meth:`WirelessNetwork.is_received`.
+    """
+    engine = get_backend(backend)
+    pts = as_points_array(points)
+    return engine.received_mask_matrix(
+        network.coords,
+        network.powers_array(),
+        pts,
+        network.noise,
+        network.beta,
+        network.alpha,
+    )[index]
+
+
+def heard_station_batch(
+    network: "WirelessNetwork",
+    points: PointsLike,
+    backend: "str | QueryBackend | None" = None,
+) -> np.ndarray:
+    """Index of the station heard at each point, ``NO_RECEPTION`` where none.
+
+    Agrees pointwise with :meth:`SINRDiagram.station_heard_at` (including the
+    highest-SINR tie-break used in the ``beta < 1`` regime).
+    """
+    engine = get_backend(backend)
+    pts = as_points_array(points)
+    return engine.heard_station(
+        network.coords,
+        network.powers_array(),
+        pts,
+        network.noise,
+        network.beta,
+        network.alpha,
+        NO_RECEPTION,
+    )
+
+
+def locate_batch(locator, points: PointsLike) -> List[object]:
+    """Answer a batch of point-location queries through any locator.
+
+    Uses the locator's native ``locate_batch`` fast path when it has one and
+    falls back to looping its scalar ``locate`` otherwise, so the call works
+    uniformly across :class:`BruteForceLocator`,
+    :class:`VoronoiCandidateLocator`, :class:`PointLocationStructure` and any
+    future locator.  Returns a list of whatever the locator's ``locate``
+    returns, in query order.
+    """
+    native = getattr(locator, "locate_batch", None)
+    if native is not None:
+        return native(points)
+    from ..geometry.point import Point
+
+    pts = as_points_array(points)
+    return [locator.locate(Point(x, y)) for x, y in pts]

@@ -1,0 +1,228 @@
+"""Vectorised NumPy SINR kernels over coordinate arrays.
+
+Every kernel operates on raw arrays — station coordinates of shape
+``(n_stations, 2)``, powers of shape ``(n_stations,)`` and query points of
+shape ``(n_points, 2)`` — and returns arrays, never scalars or
+:class:`~repro.geometry.point.Point` objects.  The kernels are the single
+source of truth for bulk SINR arithmetic: the model layer's raster builder,
+the batch query API of :mod:`repro.engine.batch` and the locators'
+``locate_batch`` fast paths all delegate here.
+
+Edge-case semantics (matching the scalar model layer exactly):
+
+* the energy of a station at its own location is ``+inf``; distances small
+  enough for the power law to overflow a float saturate to ``+inf`` as well,
+  mirroring the ``OverflowError`` handling of
+  :func:`repro.model.sinr.received_energy`;
+* at a point *exactly* occupied by a station (coordinate equality, the same
+  test the scalar reception predicate uses) the SINR column holds ``+inf``
+  for the first co-located station and ``0.0`` for every other station;
+* at a point merely overflow-close to stations, stations with infinite
+  energy get SINR ``+inf`` and the rest ``0.0`` — no NaN ever leaks out of
+  the ``inf - inf`` interference arithmetic;
+* the reception mask follows
+  :meth:`repro.model.network.WirelessNetwork.is_received`: a point occupied
+  by stations is received exactly by the co-located stations (each hears its
+  own location by definition) and by nobody else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pairwise_squared_distances",
+    "coincidence_matrix",
+    "energy_matrix",
+    "interference_matrix",
+    "sinr_matrix",
+    "strongest_station",
+    "received_mask_matrix",
+    "heard_station",
+]
+
+
+def pairwise_squared_distances(
+    station_coordinates: np.ndarray, points: np.ndarray
+) -> np.ndarray:
+    """Squared distances of shape ``(n_stations, n_points)``.
+
+    Args:
+        station_coordinates: array of shape ``(n_stations, 2)``.
+        points: array of shape ``(n_points, 2)``.
+    """
+    dx = station_coordinates[:, 0:1] - points[:, 0][None, :]
+    dy = station_coordinates[:, 1:2] - points[:, 1][None, :]
+    return dx * dx + dy * dy
+
+
+def coincidence_matrix(
+    station_coordinates: np.ndarray, points: np.ndarray
+) -> np.ndarray:
+    """Boolean ``(n_stations, n_points)``: does point ``j`` sit on station ``i``?
+
+    Uses exact coordinate equality — the same test the scalar
+    ``point == station.location`` comparison performs — not a squared
+    distance, which can underflow to zero for points that are merely
+    astronomically close.
+    """
+    same_x = station_coordinates[:, 0:1] == points[:, 0][None, :]
+    same_y = station_coordinates[:, 1:2] == points[:, 1][None, :]
+    return same_x & same_y
+
+
+def energy_matrix(
+    station_coordinates: np.ndarray,
+    powers: np.ndarray,
+    points: np.ndarray,
+    alpha: float = 2.0,
+) -> np.ndarray:
+    """Received energies ``psi_i * dist(s_i, p_j)^(-alpha)``, shape ``(n, m)``.
+
+    Entries where a point coincides with a station are ``+inf``; distances
+    small enough for the power law to overflow saturate to ``+inf`` as well.
+    """
+    squared = pairwise_squared_distances(station_coordinates, points)
+    with np.errstate(divide="ignore", over="ignore"):
+        energies = powers[:, None] * np.power(squared, -alpha / 2.0)
+    # np.power already yields inf at squared == 0 for any alpha > 0, but make
+    # the coincident case explicit so nothing can scale or NaN it away.
+    return np.where(
+        coincidence_matrix(station_coordinates, points), np.inf, energies
+    )
+
+
+def interference_matrix(
+    station_coordinates: np.ndarray,
+    powers: np.ndarray,
+    points: np.ndarray,
+    alpha: float = 2.0,
+) -> np.ndarray:
+    """Interference to every station at every point, shape ``(n, m)``.
+
+    Row ``i`` holds the total energy of all stations except ``s_i``; it is
+    ``+inf`` wherever some *other* station has infinite energy.
+    """
+    energies = energy_matrix(station_coordinates, powers, points, alpha)
+    inf_here = np.isinf(energies)
+    finite = np.where(inf_here, 0.0, energies)
+    interference = finite.sum(axis=0)[None, :] - finite
+    other_inf = (inf_here.sum(axis=0)[None, :] - inf_here.astype(int)) > 0
+    return np.where(other_inf, np.inf, interference)
+
+
+def sinr_matrix(
+    station_coordinates: np.ndarray,
+    powers: np.ndarray,
+    points: np.ndarray,
+    noise: float,
+    alpha: float = 2.0,
+) -> np.ndarray:
+    """The full SINR matrix, shape ``(n_stations, n_points)``.
+
+    Entry ``(i, j)`` is ``SINR(s_i, p_j)``.  At a point exactly occupied by a
+    station the column is ``+inf`` for the first co-located station and
+    ``0.0`` elsewhere (see the module docstring); everywhere else the values
+    agree with the scalar :func:`repro.model.sinr.sinr_ratio`.
+    """
+    energies = energy_matrix(station_coordinates, powers, points, alpha)
+    at_station = coincidence_matrix(station_coordinates, points)
+    coincident_columns = at_station.any(axis=0)
+
+    inf_energy = np.isinf(energies)
+    finite = np.where(inf_energy, 0.0, energies)
+    total = finite.sum(axis=0)[None, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        denominator = total - finite + noise
+        ratio = np.where(denominator > 0.0, finite / denominator, np.inf)
+
+    # Overflow-close stations: infinite signal dominates any interference.
+    ratio = np.where(inf_energy, np.inf, ratio)
+    # Finite-energy stations drowned by an overflow-close competitor hear 0.
+    other_inf = (inf_energy.sum(axis=0)[None, :] - inf_energy.astype(int)) > 0
+    ratio = np.where(other_inf & ~inf_energy, 0.0, ratio)
+
+    if coincident_columns.any():
+        # The first exactly co-located station owns the point; every other
+        # station's SINR there is zero by the scalar convention.
+        owner = np.argmax(at_station, axis=0)
+        owner_mask = (
+            np.arange(len(station_coordinates))[:, None] == owner[None, :]
+        ) & coincident_columns[None, :]
+        ratio = np.where(owner_mask, np.inf, ratio)
+        ratio = np.where(coincident_columns[None, :] & ~owner_mask, 0.0, ratio)
+    return ratio
+
+
+def strongest_station(
+    station_coordinates: np.ndarray,
+    powers: np.ndarray,
+    points: np.ndarray,
+    alpha: float = 2.0,
+) -> np.ndarray:
+    """Index of the station with the highest energy at each point, shape ``(m,)``.
+
+    Ties resolve to the lowest station index, like the scalar
+    :meth:`~repro.model.network.WirelessNetwork.strongest_station` loop.
+    """
+    energies = energy_matrix(station_coordinates, powers, points, alpha)
+    return np.argmax(energies, axis=0)
+
+
+def received_mask_matrix(
+    station_coordinates: np.ndarray,
+    powers: np.ndarray,
+    points: np.ndarray,
+    noise: float,
+    beta: float,
+    alpha: float = 2.0,
+) -> np.ndarray:
+    """Reception indicators for every station at every point, shape ``(n, m)``.
+
+    Entry ``(i, j)`` is True iff ``p_j`` lies in the reception zone of
+    ``s_i`` under the scalar rule: the station's own location is always
+    received, a point occupied by (only) other stations is not, and
+    elsewhere ``SINR >= beta`` decides.
+    """
+    ratio = sinr_matrix(station_coordinates, powers, points, noise, alpha)
+    return _mask_from_ratio(
+        ratio, coincidence_matrix(station_coordinates, points), beta
+    )
+
+
+def _mask_from_ratio(
+    ratio: np.ndarray, at_station: np.ndarray, beta: float
+) -> np.ndarray:
+    """Reception mask from a precomputed SINR matrix and coincidence matrix."""
+    mask = ratio >= beta
+    coincident_columns = at_station.any(axis=0)
+    if coincident_columns.any():
+        # A point occupied by stations is received exactly by the co-located
+        # stations: each hears its own location by definition, every other
+        # station is drowned there (the scalar is_received rule).
+        mask = np.where(coincident_columns[None, :], at_station, mask)
+    return mask
+
+
+def heard_station(
+    station_coordinates: np.ndarray,
+    powers: np.ndarray,
+    points: np.ndarray,
+    noise: float,
+    beta: float,
+    alpha: float = 2.0,
+    no_reception: int = -1,
+) -> np.ndarray:
+    """Index of the station heard at each point, or ``no_reception``.
+
+    For ``beta >= 1`` at most one station qualifies; for ``beta < 1`` several
+    may, and the one with the highest SINR wins (first index on ties), exactly
+    like :meth:`repro.model.diagram.SINRDiagram.station_heard_at`.
+    """
+    ratio = sinr_matrix(station_coordinates, powers, points, noise, alpha)
+    mask = _mask_from_ratio(
+        ratio, coincidence_matrix(station_coordinates, points), beta
+    )
+    any_received = mask.any(axis=0)
+    best = np.argmax(np.where(mask, ratio, -np.inf), axis=0)
+    return np.where(any_received, best, no_reception)

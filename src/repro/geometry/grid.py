@@ -22,6 +22,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
+import numpy as np
+
 from ..exceptions import GeometryError
 from .point import Point
 from .segment import Segment
@@ -114,6 +116,28 @@ class Grid:
         elif point.y < cell.lower_left.y:
             row -= 1
         return (col, row)
+
+    def cell_indices_of(self, points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`cell_index_of`: ``(cols, rows)`` int arrays.
+
+        Args:
+            points: float array of shape ``(m, 2)``.
+
+        Applies the same floating-point drift guard as the scalar method (the
+        computed cell must actually contain the point under the half-open
+        rule), so the answers agree exactly.
+        """
+        xs = points[:, 0]
+        ys = points[:, 1]
+        cols = np.floor((xs - self.origin.x) / self.spacing).astype(np.int64)
+        rows = np.floor((ys - self.origin.y) / self.spacing).astype(np.int64)
+        lower_x = self.origin.x + cols * self.spacing
+        lower_y = self.origin.y + rows * self.spacing
+        cols += xs >= lower_x + self.spacing
+        cols -= xs < lower_x
+        rows += ys >= lower_y + self.spacing
+        rows -= ys < lower_y
+        return cols, rows
 
     def cell(self, col: int, row: int) -> GridCell:
         """The cell with the given integer index."""

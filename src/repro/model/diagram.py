@@ -21,11 +21,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine import batch as engine_batch
+from ..engine import kernels
 from ..exceptions import DiagramError
 from ..geometry.point import Point
 from .network import WirelessNetwork
 from .reception import ReceptionZone
-from .sinr import sinr_map
 
 __all__ = ["SINRDiagram", "RasterDiagram"]
 
@@ -121,7 +122,23 @@ class SINRDiagram:
             return None
         if len(candidates) == 1:
             return candidates[0]
+        # A point occupied by stations (only possible with shared locations):
+        # every co-located station is received there but the SINR ratio is
+        # undefined, so the first co-located candidate wins — the same
+        # convention the batch kernels use.
+        for index in candidates:
+            if self.network.station(index).location == point:
+                return index
         return max(candidates, key=lambda index: self.network.sinr(index, point))
+
+    def station_heard_at_batch(self, points) -> np.ndarray:
+        """Bulk :meth:`station_heard_at`: one label per point, ``-1`` for none.
+
+        Accepts an ``(m, 2)`` array or a sequence of points and routes
+        through the vectorised engine; answers agree pointwise with the
+        scalar method (including the highest-SINR rule for ``beta < 1``).
+        """
+        return engine_batch.heard_station_batch(self.network, points)
 
     def reception_vector(self, point: Point) -> List[bool]:
         """Reception indicator of every station at ``point``."""
@@ -167,21 +184,17 @@ class SINRDiagram:
         ys = np.linspace(lower_left.y, upper_right.y, rows)
         grid_x, grid_y = np.meshgrid(xs, ys)
 
-        coordinates = self.network.coordinates_array()
-        powers = self.network.powers_array()
+        # One engine-kernel call labels the whole raster: the pixel centres
+        # become an (m, 2) batch and the SINR matrix is reshaped per station.
+        pixel_points = np.column_stack((grid_x.ravel(), grid_y.ravel()))
         n = len(self.network)
-
-        sinr_values = np.empty((n, rows, columns), dtype=float)
-        for index in range(n):
-            sinr_values[index] = sinr_map(
-                coordinates,
-                powers,
-                index,
-                grid_x,
-                grid_y,
-                self.network.noise,
-                self.network.alpha,
-            )
+        sinr_values = kernels.sinr_matrix(
+            self.network.coords,
+            self.network.powers_array(),
+            pixel_points,
+            self.network.noise,
+            self.network.alpha,
+        ).reshape(n, rows, columns)
 
         received = sinr_values >= self.network.beta
         best = np.argmax(sinr_values, axis=0)

@@ -109,13 +109,37 @@ class WirelessNetwork:
         """Transmission powers of every station, in index order."""
         return [station.power for station in self.stations]
 
+    @property
+    def coords(self) -> np.ndarray:
+        """Station coordinates as a cached, read-only ``(n, 2)`` numpy array.
+
+        Built once per network and reused by every batch query, so callers
+        stop rebuilding arrays per query.  Networks are immutable — every
+        "mutation" (:meth:`with_station`, :meth:`with_station_moved`, ...)
+        returns a *new* network with a fresh cache, which is what keeps the
+        cache trivially consistent.
+        """
+        cached = self.__dict__.get("_coords")
+        if cached is None:
+            cached = np.array([[s.x, s.y] for s in self.stations], dtype=float)
+            cached.setflags(write=False)
+            # Direct __dict__ assignment sidesteps the frozen-dataclass
+            # __setattr__ guard; the array itself is read-only.
+            self.__dict__["_coords"] = cached
+        return cached
+
     def coordinates_array(self) -> np.ndarray:
-        """Station coordinates as an ``(n, 2)`` numpy array."""
-        return np.array([[s.x, s.y] for s in self.stations], dtype=float)
+        """Station coordinates as an ``(n, 2)`` numpy array (cached, read-only)."""
+        return self.coords
 
     def powers_array(self) -> np.ndarray:
-        """Transmission powers as an ``(n,)`` numpy array."""
-        return np.array(self.powers(), dtype=float)
+        """Transmission powers as a cached, read-only ``(n,)`` numpy array."""
+        cached = self.__dict__.get("_powers")
+        if cached is None:
+            cached = np.array(self.powers(), dtype=float)
+            cached.setflags(write=False)
+            self.__dict__["_powers"] = cached
+        return cached
 
     def is_uniform_power(self) -> bool:
         """True if every station transmits with power 1 (``psi = 1-bar``)."""
@@ -213,6 +237,34 @@ class WirelessNetwork:
             if self.is_received(index, point):
                 return index
         return None
+
+    # ------------------------------------------------------------------
+    # Batch queries (delegated to the engine)
+    # ------------------------------------------------------------------
+    def sinr_batch(self, points, target_index: Optional[int] = None) -> np.ndarray:
+        """Bulk SINR via :func:`repro.engine.batch.sinr_batch`."""
+        from ..engine import batch
+
+        return batch.sinr_batch(self, points, target_index=target_index)
+
+    def received_mask(self, index: int, points) -> np.ndarray:
+        """Bulk reception indicator of one station (:meth:`is_received` in bulk)."""
+        from ..engine import batch
+
+        return batch.received_mask(self, index, points)
+
+    def heard_station_batch(self, points) -> np.ndarray:
+        """Bulk :meth:`heard_station`; ``-1`` marks points where nothing is heard.
+
+        For ``beta < 1`` (several stations may qualify) the highest-SINR
+        station is reported, matching
+        :meth:`repro.model.diagram.SINRDiagram.station_heard_at`; for the
+        paper's ``beta >= 1`` regime the answer is the unique heard station,
+        identical to the scalar :meth:`heard_station`.
+        """
+        from ..engine import batch
+
+        return batch.heard_station_batch(self, points)
 
     # ------------------------------------------------------------------
     # Derived structures

@@ -105,25 +105,29 @@ def sinr_ratio(
     noise_plus_interference = (
         interference(stations, powers, target_index, point, alpha) + noise
     )
+    # Points overflow-close to a station (energy saturated to inf without the
+    # point being *at* the station) must not leak NaN through inf/inf: an
+    # infinite signal dominates any interference, an infinite interference
+    # drowns any finite signal.  The vectorised kernels implement the same
+    # convention.
+    if math.isinf(signal):
+        return math.inf
+    if math.isinf(noise_plus_interference):
+        return 0.0
     if noise_plus_interference == 0.0:
         return math.inf
     return signal / noise_plus_interference
 
 
 # ----------------------------------------------------------------------
-# Vectorised versions (used by raster diagrams)
+# Vectorised versions (grid-shaped façades over the engine kernels)
 # ----------------------------------------------------------------------
-def _squared_distances(
-    station_coordinates: np.ndarray, xs: np.ndarray, ys: np.ndarray
-) -> np.ndarray:
-    """Squared distances, shape ``(n_stations,) + xs.shape``."""
-    dx = xs[None, ...] - station_coordinates[:, 0].reshape(
-        (-1,) + (1,) * xs.ndim
-    )
-    dy = ys[None, ...] - station_coordinates[:, 1].reshape(
-        (-1,) + (1,) * ys.ndim
-    )
-    return dx * dx + dy * dy
+def _as_point_rows(xs: np.ndarray, ys: np.ndarray) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Flatten broadcastable coordinate arrays into ``(m, 2)`` point rows."""
+    grid_x, grid_y = np.broadcast_arrays(np.asarray(xs, dtype=float),
+                                         np.asarray(ys, dtype=float))
+    points = np.column_stack((grid_x.ravel(), grid_y.ravel()))
+    return points, grid_x.shape
 
 
 def sinr_map(
@@ -146,20 +150,15 @@ def sinr_map(
         alpha: path-loss exponent.
 
     Returns:
-        Array with the same shape as ``xs``; entries at station locations are
-        ``inf`` for the target station and 0 effective SINR elsewhere is
-        handled naturally (division yields finite values away from stations).
+        Array with the broadcast shape of ``xs``/``ys``; entries are ``inf``
+        at the target station's own location and ``0`` at other stations'
+        locations (the engine-kernel convention).
     """
-    with np.errstate(divide="ignore", invalid="ignore"):
-        squared = _squared_distances(station_coordinates, xs, ys)
-        energies = powers.reshape((-1,) + (1,) * xs.ndim) * np.power(
-            squared, -alpha / 2.0
-        )
-        signal = energies[target_index]
-        total = energies.sum(axis=0)
-        denominator = total - signal + noise
-        ratio = np.where(denominator > 0.0, signal / denominator, np.inf)
-    return ratio
+    from ..engine import kernels
+
+    points, shape = _as_point_rows(xs, ys)
+    matrix = kernels.sinr_matrix(station_coordinates, powers, points, noise, alpha)
+    return matrix[target_index].reshape(shape)
 
 
 def strongest_station_map(
@@ -175,9 +174,9 @@ def strongest_station_map(
     owner of the point (Observation 2.2 guarantees it is the only candidate
     whose transmission may be received there).
     """
-    with np.errstate(divide="ignore", invalid="ignore"):
-        squared = _squared_distances(station_coordinates, xs, ys)
-        energies = powers.reshape((-1,) + (1,) * xs.ndim) * np.power(
-            squared, -alpha / 2.0
-        )
-    return np.argmax(energies, axis=0)
+    from ..engine import kernels
+
+    points, shape = _as_point_rows(xs, ys)
+    return kernels.strongest_station(
+        station_coordinates, powers, points, alpha
+    ).reshape(shape)

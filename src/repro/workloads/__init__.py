@@ -4,6 +4,7 @@ from .generators import (
     clustered_network,
     colinear_network,
     grid_network,
+    random_query_array,
     random_query_points,
     ring_network,
     two_station_network,
@@ -25,6 +26,7 @@ __all__ = [
     "colinear_network",
     "grid_network",
     "point_location_networks",
+    "random_query_array",
     "random_query_points",
     "ring_network",
     "scenario",

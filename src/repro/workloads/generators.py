@@ -24,6 +24,8 @@ import math
 import random
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..exceptions import NetworkConfigurationError
 from ..geometry.point import Point
 from ..model.network import DEFAULT_BETA, WirelessNetwork
@@ -36,6 +38,7 @@ __all__ = [
     "colinear_network",
     "two_station_network",
     "random_query_points",
+    "random_query_array",
 ]
 
 
@@ -193,18 +196,38 @@ def two_station_network(
     return WirelessNetwork(stations=stations, noise=noise, beta=beta)
 
 
+def random_query_array(
+    count: int,
+    lower_left: Point,
+    upper_right: Point,
+    seed: int = 0,
+) -> np.ndarray:
+    """Uniform random query points as an ``(count, 2)`` coordinate array.
+
+    This is the native format of the batch query engine
+    (:mod:`repro.engine.batch`): experiments and benchmarks feed it straight
+    into ``sinr_batch`` / ``locate_batch`` without building ``Point`` objects.
+    Uses the same RNG sequence as :func:`random_query_points`, so both
+    functions describe the same workload for a given seed.
+    """
+    rng = random.Random(seed)
+    out = np.empty((count, 2), dtype=float)
+    for index in range(count):
+        out[index, 0] = rng.uniform(lower_left.x, upper_right.x)
+        out[index, 1] = rng.uniform(lower_left.y, upper_right.y)
+    return out
+
+
 def random_query_points(
     count: int,
     lower_left: Point,
     upper_right: Point,
     seed: int = 0,
 ) -> List[Point]:
-    """Uniform random query points in a box (for point-location benchmarks)."""
-    rng = random.Random(seed)
-    return [
-        Point(
-            rng.uniform(lower_left.x, upper_right.x),
-            rng.uniform(lower_left.y, upper_right.y),
-        )
-        for _ in range(count)
-    ]
+    """Uniform random query points in a box (for point-location benchmarks).
+
+    Scalar-object view of the workload of :func:`random_query_array` (same
+    coordinates for the same seed).
+    """
+    array = random_query_array(count, lower_left, upper_right, seed=seed)
+    return [Point(x, y) for x, y in array.tolist()]

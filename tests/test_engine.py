@@ -1,0 +1,378 @@
+"""Tests for the batched query engine (`repro.engine`).
+
+Three families:
+
+* backend equivalence — the numpy and pure-Python reference backends agree
+  on randomized networks within 1e-9;
+* batch-vs-scalar agreement — every locator's ``locate_batch`` and every
+  batch query function reproduces the scalar code path pointwise;
+* edge cases — empty and single-point batches, coincident points, and the
+  zero-distance / overflow regression of the scalar-kernel contract.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Point, SINRDiagram, Station, WirelessNetwork
+from repro.engine import (
+    active_backend,
+    as_points_array,
+    energy_batch,
+    get_backend,
+    heard_station_batch,
+    kernels,
+    locate_batch,
+    received_mask,
+    sinr_batch,
+    strongest_station_batch,
+    use_backend,
+)
+from repro.exceptions import ReproError
+from repro.model.sinr import received_energy, sinr_ratio
+from repro.pointlocation import (
+    BruteForceLocator,
+    PointLocationStructure,
+    VoronoiCandidateLocator,
+)
+from repro.workloads import random_query_array, uniform_random_network
+
+
+def random_network(seed: int, noise: float = 0.005, beta: float = 3.0):
+    return uniform_random_network(
+        6, side=14.0, minimum_separation=2.0, noise=noise, beta=beta, seed=seed
+    )
+
+
+def queries_for(network, count: int = 200, seed: int = 1) -> np.ndarray:
+    return random_query_array(
+        count, Point(-3.0, -3.0), Point(17.0, 17.0), seed=seed
+    )
+
+
+# ----------------------------------------------------------------------
+# Points coercion
+# ----------------------------------------------------------------------
+class TestAsPointsArray:
+    def test_accepts_array_points_and_tuples(self):
+        array = np.array([[0.0, 1.0], [2.0, 3.0]])
+        assert as_points_array(array) is not None
+        from_points = as_points_array([Point(0.0, 1.0), Point(2.0, 3.0)])
+        from_tuples = as_points_array([(0.0, 1.0), (2.0, 3.0)])
+        np.testing.assert_array_equal(from_points, array)
+        np.testing.assert_array_equal(from_tuples, array)
+
+    def test_single_point_and_pair(self):
+        assert as_points_array(Point(1.0, 2.0)).shape == (1, 2)
+        assert as_points_array((1.0, 2.0)).shape == (1, 2)
+        assert as_points_array(np.array([1.0, 2.0])).shape == (1, 2)
+
+    def test_empty_batch(self):
+        assert as_points_array([]).shape == (0, 2)
+        assert as_points_array(np.empty((0, 2))).shape == (0, 2)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            as_points_array(np.zeros((3, 3)))
+
+
+# ----------------------------------------------------------------------
+# Backend registry / selection
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_default_is_numpy(self):
+        assert active_backend().name == "numpy"
+
+    def test_use_backend_context_restores(self):
+        with use_backend("reference") as backend:
+            assert backend.name == "reference"
+            assert active_backend().name == "reference"
+        assert active_backend().name == "numpy"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ReproError):
+            get_backend("gpu-of-the-future")
+
+    def test_per_call_backend_override(self):
+        network = random_network(seed=2)
+        points = queries_for(network, count=16)
+        default = sinr_batch(network, points)
+        explicit = sinr_batch(network, points, backend="numpy")
+        np.testing.assert_array_equal(default, explicit)
+
+
+# ----------------------------------------------------------------------
+# Backend equivalence (numpy vs pure-Python reference)
+# ----------------------------------------------------------------------
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_sinr_matrix_agrees(self, seed):
+        network = random_network(seed=seed, noise=0.01 * seed, beta=2.0 + seed)
+        points = queries_for(network, count=120, seed=seed + 10)
+        numpy_result = sinr_batch(network, points, backend="numpy")
+        reference_result = sinr_batch(network, points, backend="reference")
+        np.testing.assert_allclose(numpy_result, reference_result, rtol=1e-9)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_masks_and_argmax_agree(self, seed):
+        network = random_network(seed=seed)
+        points = queries_for(network, count=120, seed=seed + 20)
+        for index in range(len(network)):
+            np.testing.assert_array_equal(
+                received_mask(network, index, points, backend="numpy"),
+                received_mask(network, index, points, backend="reference"),
+            )
+        np.testing.assert_array_equal(
+            strongest_station_batch(network, points, backend="numpy"),
+            strongest_station_batch(network, points, backend="reference"),
+        )
+        np.testing.assert_array_equal(
+            heard_station_batch(network, points, backend="numpy"),
+            heard_station_batch(network, points, backend="reference"),
+        )
+
+    def test_equivalence_includes_station_locations(self):
+        network = random_network(seed=5)
+        points = np.vstack([network.coords, queries_for(network, count=20)])
+        np.testing.assert_allclose(
+            sinr_batch(network, points, backend="numpy"),
+            sinr_batch(network, points, backend="reference"),
+            rtol=1e-9,
+        )
+        np.testing.assert_array_equal(
+            heard_station_batch(network, points, backend="numpy"),
+            heard_station_batch(network, points, backend="reference"),
+        )
+
+
+# ----------------------------------------------------------------------
+# Batch vs scalar agreement
+# ----------------------------------------------------------------------
+class TestBatchMatchesScalar:
+    def test_sinr_batch_matches_scalar_sinr(self):
+        network = random_network(seed=3)
+        points = queries_for(network, count=150)
+        matrix = sinr_batch(network, points)
+        for index in range(len(network)):
+            scalar = [network.sinr(index, Point(x, y)) for x, y in points]
+            np.testing.assert_allclose(matrix[index], scalar, rtol=1e-12)
+
+    def test_received_mask_matches_is_received(self):
+        network = random_network(seed=4)
+        points = np.vstack([network.coords, queries_for(network, count=150)])
+        for index in range(len(network)):
+            mask = received_mask(network, index, points)
+            scalar = [network.is_received(index, Point(x, y)) for x, y in points]
+            np.testing.assert_array_equal(mask, scalar)
+
+    def test_heard_station_batch_matches_diagram(self):
+        network = random_network(seed=6)
+        diagram = SINRDiagram(network)
+        points = queries_for(network, count=150)
+        labels = heard_station_batch(network, points)
+        for (x, y), label in zip(points, labels):
+            scalar = diagram.station_heard_at(Point(x, y))
+            assert (scalar if scalar is not None else -1) == label
+
+    def test_heard_station_batch_matches_diagram_beta_below_one(self):
+        network = random_network(seed=7, beta=0.3, noise=0.05)
+        diagram = SINRDiagram(network)
+        points = queries_for(network, count=150)
+        labels = heard_station_batch(network, points)
+        for (x, y), label in zip(points, labels):
+            scalar = diagram.station_heard_at(Point(x, y))
+            assert (scalar if scalar is not None else -1) == label
+
+    def test_strongest_station_matches_scalar(self):
+        network = random_network(seed=8)
+        points = queries_for(network, count=150)
+        batch = strongest_station_batch(network, points)
+        for (x, y), index in zip(points, batch):
+            assert network.strongest_station(Point(x, y)) == index
+
+    def test_interference_matrix_matches_scalar(self):
+        network = random_network(seed=18)
+        points = np.vstack([network.coords, queries_for(network, count=100)])
+        matrix = kernels.interference_matrix(
+            network.coords, network.powers_array(), points, network.alpha
+        )
+        for index in range(len(network)):
+            scalar = [network.interference(index, Point(x, y)) for x, y in points]
+            np.testing.assert_allclose(matrix[index], scalar, rtol=1e-9)
+
+
+class TestLocatorBatches:
+    @pytest.mark.parametrize("beta", [3.0, 0.5])
+    def test_brute_force_locate_batch(self, beta):
+        network = random_network(seed=9, beta=beta, noise=0.01)
+        locator = BruteForceLocator(network)
+        points = queries_for(network, count=200)
+        labels = locator.locate_batch(points)
+        for (x, y), label in zip(points, labels):
+            scalar = locator.locate(Point(x, y))
+            assert (scalar if scalar is not None else -1) == label
+
+    def test_voronoi_candidate_locate_batch(self):
+        network = random_network(seed=10)
+        locator = VoronoiCandidateLocator(network)
+        points = queries_for(network, count=200)
+        labels = locator.locate_batch(points)
+        for (x, y), label in zip(points, labels):
+            scalar = locator.locate(Point(x, y))
+            assert (scalar if scalar is not None else -1) == label
+
+    def test_structure_locate_batch(self):
+        network = random_network(seed=11)
+        structure = PointLocationStructure(network, epsilon=0.4)
+        points = queries_for(network, count=200)
+        answers = structure.locate_batch(points)
+        for (x, y), answer in zip(points, answers):
+            scalar = structure.locate(Point(x, y))
+            assert scalar.station == answer.station
+            assert scalar.label == answer.label
+
+    def test_generic_locate_batch_dispatch(self):
+        network = random_network(seed=12)
+        locator = VoronoiCandidateLocator(network)
+        points = queries_for(network, count=50)
+        np.testing.assert_array_equal(
+            locate_batch(locator, points), locator.locate_batch(points)
+        )
+
+    def test_generic_locate_batch_fallback_loops_scalar(self):
+        network = random_network(seed=13)
+
+        class ScalarOnly:
+            def locate(self, point):
+                return network.heard_station(point)
+
+        points = queries_for(network, count=30)
+        fallback = locate_batch(ScalarOnly(), points)
+        assert fallback == [
+            network.heard_station(Point(x, y)) for x, y in points
+        ]
+
+    def test_empty_and_single_point_batches(self):
+        network = random_network(seed=14)
+        structure = PointLocationStructure(network, epsilon=0.4)
+        voronoi = VoronoiCandidateLocator(network)
+        brute = BruteForceLocator(network)
+
+        assert structure.locate_batch([]) == []
+        assert voronoi.locate_batch([]).shape == (0,)
+        assert brute.locate_batch(np.empty((0, 2))).shape == (0,)
+        assert sinr_batch(network, []).shape == (len(network), 0)
+
+        single = structure.locate_batch(Point(1.0, 1.0))
+        assert len(single) == 1
+        assert single[0].label == structure.locate(Point(1.0, 1.0)).label
+        assert voronoi.locate_batch(Point(1.0, 1.0)).shape == (1,)
+
+
+# ----------------------------------------------------------------------
+# Zero-distance / overflow regression (satellite of the engine PR)
+# ----------------------------------------------------------------------
+class TestCoincidentAndOverflowEdges:
+    def network(self):
+        return WirelessNetwork.uniform(
+            [(0.0, 0.0), (4.0, 0.0), (1.0, 5.0)], noise=0.01, beta=2.0
+        )
+
+    def test_scalar_energy_is_inf_at_station_and_under_overflow(self):
+        station = Point(0.0, 0.0)
+        assert received_energy(station, 1.0, Point(0.0, 0.0)) == math.inf
+        # 1e-200 ** -2 overflows the float range: saturates to inf.
+        assert received_energy(station, 1.0, Point(1e-200, 0.0)) == math.inf
+
+    def test_kernel_energy_agrees_with_scalar_at_edges(self):
+        network = self.network()
+        points = np.array([[0.0, 0.0], [1e-200, 0.0], [1e-160, 0.0], [0.5, 0.5]])
+        matrix = energy_batch(network, points)
+        for i in range(len(network)):
+            for j, (x, y) in enumerate(points):
+                scalar = network.energy(i, Point(x, y))
+                if math.isinf(scalar):
+                    # The edge contract: exact agreement on the inf cases.
+                    assert matrix[i, j] == scalar
+                else:
+                    # Ordinary points: hypot-then-power vs squared-power may
+                    # differ in the last ulp.
+                    assert matrix[i, j] == pytest.approx(scalar, rel=1e-12)
+
+    def test_scalar_sinr_ratio_no_nan_at_overflow_points(self):
+        network = self.network()
+        # Not a station location (so no exception), but overflow-close to s0.
+        point = Point(1e-160, 0.0)
+        ratio = sinr_ratio(
+            network.locations(), network.powers(), 0, point, network.noise
+        )
+        assert ratio == math.inf
+        drowned = sinr_ratio(
+            network.locations(), network.powers(), 1, point, network.noise
+        )
+        assert drowned == 0.0
+
+    def test_no_nan_leakage_through_batch_sinr(self):
+        network = self.network()
+        points = np.array(
+            [[0.0, 0.0], [4.0, 0.0], [1e-200, 0.0], [1e-160, 0.0], [2.0, 1.0]]
+        )
+        for backend in ("numpy", "reference"):
+            matrix = sinr_batch(network, points, backend=backend)
+            assert not np.isnan(matrix).any()
+        # The co-located station owns its point: inf for it, 0 for the rest.
+        matrix = sinr_batch(network, points)
+        assert matrix[0, 0] == math.inf and matrix[1, 0] == 0.0
+        assert matrix[1, 1] == math.inf and matrix[0, 1] == 0.0
+
+    def test_shared_location_heard_by_first_station_only(self):
+        network = WirelessNetwork(
+            stations=(
+                Station.at(0.0, 0.0),
+                Station.at(0.0, 0.0),
+                Station.at(5.0, 0.0),
+            ),
+            noise=0.0,
+            beta=2.0,
+        )
+        points = np.array([[0.0, 0.0]])
+        for index in range(3):
+            mask = received_mask(network, index, points)
+            assert mask[0] == network.is_received(index, Point(0.0, 0.0))
+        assert heard_station_batch(network, points)[0] == 0
+        # The scalar diagram query uses the same first-co-located convention.
+        assert SINRDiagram(network).station_heard_at(Point(0.0, 0.0)) == 0
+
+
+# ----------------------------------------------------------------------
+# Cached network arrays
+# ----------------------------------------------------------------------
+class TestCachedNetworkArrays:
+    def test_coords_and_powers_are_cached_and_read_only(self):
+        network = random_network(seed=15)
+        assert network.coords is network.coords
+        assert network.coordinates_array() is network.coords
+        assert network.powers_array() is network.powers_array()
+        with pytest.raises(ValueError):
+            network.coords[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            network.powers_array()[0] = 99.0
+
+    def test_mutated_networks_get_fresh_caches(self):
+        network = random_network(seed=16)
+        _ = network.coords
+        moved = network.with_station_moved(0, Point(100.0, 100.0))
+        assert moved.coords[0, 0] == 100.0
+        assert network.coords[0, 0] != 100.0
+        shrunk = network.without_station(0)
+        assert shrunk.coords.shape == (len(network) - 1, 2)
+
+    def test_coords_values_match_locations(self):
+        network = random_network(seed=17)
+        np.testing.assert_array_equal(
+            network.coords,
+            np.array([[p.x, p.y] for p in network.locations()]),
+        )
