@@ -124,6 +124,26 @@ def main() -> None:
             f"{scalar_seconds / batch_seconds:>7.1f}x"
         )
 
+    # ------------------------------------------------------------------
+    # Engine backends: the same bulk query through each registered backend
+    # (numpy, multiprocess, numba when installed, and the pure-Python
+    # reference ground truth, timed on a subsample because it is ~100x
+    # slower by design).
+    # ------------------------------------------------------------------
+    from repro.engine import available_backends, heard_station_batch
+
+    print(f"\nheard-station throughput per engine backend "
+          f"({len(query_array)} queries):")
+    for name in sorted(available_backends()):
+        sample = query_array[:250] if name == "reference" else query_array
+        # Untimed warm-up: numba pays JIT compilation on its first call and
+        # multiprocess pays worker-pool start-up; steady state is the story.
+        heard_station_batch(network, sample, backend=name)
+        start = time.perf_counter()
+        heard_station_batch(network, sample, backend=name)
+        seconds_per_query = (time.perf_counter() - start) / len(sample)
+        print(f"{name:>24} {1.0 / seconds_per_query:>12.0f} q/s")
+
     print(
         "\nthe certified answers (inside/outside) of the grid structure are "
         "always consistent with the exact locator; only the thin uncertainty "

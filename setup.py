@@ -24,5 +24,10 @@ setup(
             "pytest",
             "pytest-benchmark",
         ],
+        # Optional JIT engine backend; without it `repro.engine` simply does
+        # not register the "numba" backend.
+        "numba": [
+            "numba>=0.57",
+        ],
     },
 )

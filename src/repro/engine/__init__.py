@@ -16,18 +16,38 @@ Architecture
     has no knowledge of the model layer's classes.
 
 ``backend.py``
-    The pluggable backend protocol (:class:`QueryBackend`).  A backend is any
-    object implementing the five kernel entry points; the ``"numpy"`` backend
-    wraps ``kernels.py`` and is the default, the ``"reference"`` backend
-    loops the scalar model functions in pure Python and serves as ground
-    truth for equivalence tests.  Switch with::
+    The pluggable backend protocol (:class:`QueryBackend`) and the
+    concurrency-safe registry/selection machinery.  A backend is any object
+    implementing the five kernel entry points.  The backend matrix:
+
+    ================  ==========================================================
+    ``numpy``         Vectorised kernels of ``kernels.py``; the default.  Best
+                      for everyday batches (it beats the others up to roughly
+                      10^4 points because it pays no compile or pool cost).
+    ``reference``     Pure-Python loops over the scalar model functions; ~100x
+                      slower, ground truth for the equivalence property tests.
+    ``numba``         JIT-compiled fused loops (``numba_backend.py``).  Only
+                      registered when the optional ``numba`` dependency is
+                      installed (``pip install repro-sinr-diagrams[numba]``);
+                      fastest steady-state single-core option once compiled.
+    ``multiprocess``  Shards the point batch across a worker-process pool
+                      (``multiprocess.py``).  Wins on multi-core hosts for
+                      large batches (>= its ``min_batch_size`` threshold,
+                      default 2048 points); smaller batches automatically fall
+                      through to ``numpy`` so they never pay pool overhead.
+    ================  ==========================================================
+
+    Switch with::
 
         from repro.engine import use_backend
-        use_backend("reference")            # global
-        with use_backend("numpy"): ...      # scoped
+        use_backend("reference")            # current thread/task, persistent
+        with use_backend("numpy"): ...      # scoped, restored on exit
 
-    New backends (numba, multiprocess, GPU) register via
-    :func:`register_backend` and become selectable everywhere at once.
+    or pass ``backend="numba"`` per call to any ``batch.py`` function.  The
+    selection lives in a :class:`contextvars.ContextVar`, so threads and
+    asyncio tasks are isolated from each other and nested ``with`` blocks
+    unwind correctly even on exceptions.  New backends (GPU, ...) register
+    via :func:`register_backend` and become selectable everywhere at once.
 
 ``batch.py``
     The uniform batch query API consumed by the model, point-location,
@@ -71,8 +91,16 @@ from .batch import (
 )
 from . import kernels
 
+# Importing these modules registers the production backends: "multiprocess"
+# always, "numba" only when the optional dependency is importable.
+from .multiprocess import MultiprocessBackend
+from .numba_backend import NUMBA_AVAILABLE, NumbaBackend
+
 __all__ = [
     "NO_RECEPTION",
+    "NUMBA_AVAILABLE",
+    "MultiprocessBackend",
+    "NumbaBackend",
     "NumpyBackend",
     "QueryBackend",
     "ReferenceBackend",

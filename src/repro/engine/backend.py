@@ -1,31 +1,47 @@
 """Pluggable compute backends for the batched query engine.
 
-A backend turns raw coordinate arrays into SINR quantities.  Two ship with
-the library:
+A backend turns raw coordinate arrays into SINR quantities.  The backend
+matrix (see also :func:`available_backends`):
 
 * ``"numpy"`` — the fully vectorised kernels of :mod:`repro.engine.kernels`
   (the default, and the fast path every consumer uses);
 * ``"reference"`` — a pure-Python backend that loops over the scalar model
   functions (:mod:`repro.model.sinr`).  It is deliberately slow and exists as
-  ground truth: the property tests assert that both backends agree on random
-  networks, so any future backend (numba, multiprocess, GPU) can be validated
-  against it through the same protocol.
+  ground truth: the property tests assert that every registered backend
+  agrees with it on random networks, so any future backend (GPU, ...) can be
+  validated through the same protocol;
+* ``"numba"`` (:mod:`repro.engine.numba_backend`) — JIT-compiled kernels,
+  registered only when the optional ``numba`` dependency is installed
+  (``pip install repro-sinr-diagrams[numba]``);
+* ``"multiprocess"`` (:mod:`repro.engine.multiprocess`) — shards the point
+  batch across a worker-process pool, falling through to the numpy backend
+  below a batch-size threshold.
 
-Select a backend globally with :func:`use_backend` (also usable as a context
-manager) or per call via the ``backend=`` argument of the
-:mod:`repro.engine.batch` functions::
+Select a backend with :func:`use_backend` (also usable as a context manager)
+or per call via the ``backend=`` argument of the :mod:`repro.engine.batch`
+functions::
 
     from repro.engine import use_backend
 
-    use_backend("reference")          # global, until changed back
+    use_backend("reference")          # current context, until changed back
     with use_backend("numpy"):        # scoped
         ...
+
+Selection is stored in a :class:`contextvars.ContextVar`, so it is isolated
+per thread and per async task: two threads (or asyncio tasks) can each
+``use_backend(...)`` a different backend concurrently without seeing each
+other's choice, and the context-manager form restores the previous selection
+even when an exception escapes the block.  The registry itself is guarded by
+a lock, and name-based selections are re-resolved on every query, so
+re-registering a backend under an active name takes effect immediately.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Protocol, runtime_checkable
+import threading
+from contextvars import ContextVar
+from typing import Dict, Protocol, Union, runtime_checkable
 
 import numpy as np
 
@@ -220,66 +236,111 @@ class ReferenceBackend:
 
 
 _BACKENDS: Dict[str, QueryBackend] = {}
-_active: QueryBackend
+_registry_lock = threading.Lock()
+
+#: The active *selection*, not the active backend object: a registered name
+#: stays a name and is re-resolved on every :func:`active_backend` call, so a
+#: re-registration under that name takes effect immediately; an explicitly
+#: passed backend object is stored as-is.  Being a ContextVar, the selection
+#: is isolated per thread / async task and defaults to ``"numpy"`` wherever
+#: nothing was selected.
+_selection: ContextVar[Union[str, QueryBackend]] = ContextVar(
+    "repro_engine_backend", default="numpy"
+)
 
 
 def register_backend(name: str, backend: QueryBackend) -> None:
-    """Register a backend under ``name`` (overwriting any previous one)."""
-    _BACKENDS[name] = backend
+    """Register ``backend`` under ``name`` (overwriting any previous one).
+
+    Safe to call from any thread.  Because active selections made by name are
+    re-resolved on use, overwriting a name that is currently active takes
+    effect immediately — :func:`active_backend` never returns the stale
+    previously-registered object.
+    """
+    with _registry_lock:
+        _BACKENDS[name] = backend
 
 
 def available_backends() -> Dict[str, QueryBackend]:
-    """Name -> backend mapping of everything registered."""
-    return dict(_BACKENDS)
+    """Name -> backend mapping of everything registered (a snapshot copy)."""
+    with _registry_lock:
+        return dict(_BACKENDS)
 
 
 def get_backend(name: "str | QueryBackend | None" = None) -> QueryBackend:
     """Resolve a backend: None -> the active one, a str -> by name, else as-is."""
     if name is None:
-        return _active
+        return active_backend()
     if isinstance(name, str):
-        try:
-            return _BACKENDS[name]
-        except KeyError:
+        # Lock-free read: dict lookups are atomic under the GIL, and this is
+        # on the hot path of every batch query (re-resolution of name-based
+        # selections).  The lock only serialises writers.
+        backend = _BACKENDS.get(name)
+        if backend is None:
             raise ReproError(
                 f"unknown engine backend {name!r}; "
                 f"available: {sorted(_BACKENDS)}"
-            ) from None
+            )
+        return backend
     return name
 
 
 def active_backend() -> QueryBackend:
-    """The backend batch queries use when none is passed explicitly."""
-    return _active
+    """The backend batch queries use when none is passed explicitly.
+
+    Resolved from the current context's selection, so each thread and async
+    task sees its own :func:`use_backend` choices (falling back to
+    ``"numpy"`` where none was made).
+    """
+    selected = _selection.get()
+    if isinstance(selected, str):
+        return get_backend(selected)
+    return selected
 
 
 class _BackendSelection:
-    """Result of :func:`use_backend`: effective immediately, optional context manager."""
+    """Result of :func:`use_backend`: effective immediately, optional context manager.
 
-    def __init__(self, previous: QueryBackend, selected: QueryBackend):
-        self._previous = previous
-        self.backend = selected
+    ``backend`` re-resolves name-based selections on access, so it tracks
+    re-registrations just like :func:`active_backend`.  The value bound by
+    ``with use_backend(name) as b`` is necessarily a snapshot taken at entry;
+    prefer :func:`active_backend` (or the ``backend`` property) inside the
+    block when re-registration during the block is a possibility.
+    """
+
+    def __init__(self, token, selected: "str | QueryBackend"):
+        self._token = token
+        self._selected = selected
+
+    @property
+    def backend(self) -> QueryBackend:
+        return get_backend(self._selected)
 
     def __enter__(self) -> QueryBackend:
         return self.backend
 
     def __exit__(self, *exc_info) -> None:
-        global _active
-        _active = self._previous
+        if self._token is not None:
+            _selection.reset(self._token)
+            self._token = None
 
 
 def use_backend(name: "str | QueryBackend") -> _BackendSelection:
-    """Make ``name`` the active backend.
+    """Make ``name`` the active backend in the current context.
 
-    The switch takes effect immediately and persists; when the return value is
-    used as a context manager, the previous backend is restored on exit.
+    The switch takes effect immediately and persists for the current thread /
+    async task; when the return value is used as a context manager, the
+    previous selection is restored on exit (also when an exception escapes
+    the block), and nested selections unwind in order.
     """
-    global _active
-    selection = _BackendSelection(_active, get_backend(name))
-    _active = selection.backend
-    return selection
+    # Resolve eagerly so an unknown name raises here, not at first query.
+    get_backend(name)
+    # The selection stores the *name* when one was given, so later
+    # re-registrations under it are picked up on re-resolution; an explicitly
+    # passed backend object is stored as-is.
+    token = _selection.set(name)
+    return _BackendSelection(token, name)
 
 
 register_backend("numpy", NumpyBackend())
 register_backend("reference", ReferenceBackend())
-_active = _BACKENDS["numpy"]

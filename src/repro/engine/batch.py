@@ -44,10 +44,16 @@ def as_points_array(points: PointsLike) -> np.ndarray:
 
     Accepts an ``(m, 2)`` array (returned as float, uncopied when possible),
     a single ``Point`` / 2-tuple (promoted to shape ``(1, 2)``), or any
-    sequence of points / 2-sequences.  An empty sequence yields ``(0, 2)``.
+    sequence of points / 2-sequences.  An empty sequence, ``np.array([])``
+    (shape ``(0,)``) or an ``(0, 2)`` array yields ``(0, 2)``.
     """
     if isinstance(points, np.ndarray):
         array = np.asarray(points, dtype=float)
+        if array.ndim == 1 and array.size == 0:
+            # np.array([]) has shape (0,): the empty batch, like the empty
+            # list.  Malformed 2-d shapes such as (5, 0) still raise below —
+            # they look like queries whose coordinate axis was sliced away.
+            return array.reshape(0, 2)
         if array.ndim == 1 and array.shape == (2,):
             return array.reshape(1, 2)
         if array.ndim != 2 or array.shape[1] != 2:

@@ -1,0 +1,195 @@
+"""The ``"multiprocess"`` engine backend: point-batch sharding across workers.
+
+The numpy kernels are single-threaded; on a multi-core serving host the
+cheapest extra axis of scale is to split the ``(m, 2)`` query batch into
+contiguous shards, evaluate each shard in a worker process with the plain
+numpy kernels, and concatenate the answers in query order.  Every query
+family shards perfectly along the point axis — the kernels never couple two
+query points — so the merge is a plain ``np.concatenate`` (axis 1 for the
+``(n_stations, m)`` matrices, axis 0 for the per-point label vectors).
+
+Sharding only pays above a minimum batch size: pickling the arrays and
+crossing the process boundary costs hundreds of microseconds, so small
+batches *fall through to the numpy backend* untouched.  Both knobs are
+configurable::
+
+    from repro.engine.multiprocess import MultiprocessBackend
+    backend = MultiprocessBackend(workers=8, min_batch_size=4096)
+
+The module-registered default instance reads ``REPRO_ENGINE_WORKERS`` (else
+``os.cpu_count()``) and uses a 2048-point threshold.  The worker pool is
+created lazily on the first large-enough batch and reused afterwards; call
+:meth:`MultiprocessBackend.close` to release it (it is also released at
+interpreter exit like any ``concurrent.futures`` pool).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import threading
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+import numpy as np
+
+from .backend import QueryBackend, get_backend, register_backend
+from . import kernels
+
+__all__ = ["MultiprocessBackend", "DEFAULT_MIN_BATCH_SIZE"]
+
+#: Below this many query points a batch is answered by the fall-through
+#: backend in-process; pool overhead would dominate the kernel time.
+DEFAULT_MIN_BATCH_SIZE = 2048
+
+
+def _run_kernel(kernel_name, coords, powers, points, extra_args):
+    """Worker entry point: evaluate one numpy kernel on one point shard.
+
+    Module-level so it pickles by reference under every start method.
+    """
+    return getattr(kernels, kernel_name)(coords, powers, points, *extra_args)
+
+
+def _default_worker_count() -> int:
+    configured = os.environ.get("REPRO_ENGINE_WORKERS", "")
+    if configured.strip():
+        try:
+            return max(1, int(configured))
+        except ValueError:
+            # The default backend is built at import time; a typo in the env
+            # var must not make the library unimportable.
+            warnings.warn(
+                f"ignoring non-integer REPRO_ENGINE_WORKERS={configured!r}; "
+                f"using cpu_count",
+                stacklevel=2,
+            )
+    return max(1, os.cpu_count() or 1)
+
+
+class MultiprocessBackend:
+    """Point-sharding :class:`~repro.engine.backend.QueryBackend`.
+
+    Args:
+        workers: worker-process count; defaults to ``REPRO_ENGINE_WORKERS``
+            or ``os.cpu_count()``.
+        min_batch_size: batches with fewer points than this are delegated
+            whole to ``fallback`` in-process (no pool, no pickling).
+        fallback: name of the backend answering small batches, resolved per
+            call so re-registrations are honoured.
+        start_method: multiprocessing start method; defaults to ``"fork"``
+            on Linux (cheap, inherits loaded modules) and the platform
+            default elsewhere — forked children are unsafe on macOS, which
+            is why spawn became its default in Python 3.8.
+    """
+
+    name = "multiprocess"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        min_batch_size: int = DEFAULT_MIN_BATCH_SIZE,
+        fallback: str = "numpy",
+        start_method: Optional[str] = None,
+    ):
+        self.workers = workers if workers is not None else _default_worker_count()
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.min_batch_size = min_batch_size
+        self._fallback_name = fallback
+        if (
+            start_method is None
+            and sys.platform == "linux"
+            and "fork" in multiprocessing.get_all_start_methods()
+        ):
+            start_method = "fork"
+        self._start_method = start_method
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+
+    # -- pool lifecycle -------------------------------------------------
+    def _submit_shards(self, kernel_name, coords, powers, shards, extra_args):
+        """Submit every shard while holding the executor lock.
+
+        Submitting under the lock means a concurrent :meth:`close` either
+        runs before (the pool is re-created here) or after (the already
+        submitted futures complete — ``shutdown`` cancels nothing running);
+        it can never shut the pool down between creation and submission.
+        """
+        with self._executor_lock:
+            if self._executor is None:
+                context = (
+                    multiprocessing.get_context(self._start_method)
+                    if self._start_method
+                    else None
+                )
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
+            return [
+                self._executor.submit(
+                    _run_kernel, kernel_name, coords, powers, shard, extra_args
+                )
+                for shard in shards
+            ]
+
+    def close(self) -> None:
+        """Shut the worker pool down (a later large batch re-creates it)."""
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown()
+                self._executor = None
+
+    def __enter__(self) -> "MultiprocessBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- sharded dispatch -----------------------------------------------
+    def _fallback(self) -> QueryBackend:
+        return get_backend(self._fallback_name)
+
+    def _dispatch(self, kernel_name, coords, powers, points, extra_args, axis):
+        points = np.asarray(points, dtype=float)
+        count = len(points)
+        if self.workers == 1 or count < max(self.min_batch_size, 2):
+            method = getattr(self._fallback(), kernel_name)
+            return method(coords, powers, points, *extra_args)
+        shards = np.array_split(points, min(self.workers, count))
+        futures = self._submit_shards(kernel_name, coords, powers, shards, extra_args)
+        return np.concatenate([future.result() for future in futures], axis=axis)
+
+    # -- QueryBackend protocol ------------------------------------------
+    def energy_matrix(self, coords, powers, points, alpha):
+        return self._dispatch("energy_matrix", coords, powers, points, (alpha,), 1)
+
+    def sinr_matrix(self, coords, powers, points, noise, alpha):
+        return self._dispatch(
+            "sinr_matrix", coords, powers, points, (noise, alpha), 1
+        )
+
+    def strongest_station(self, coords, powers, points, alpha):
+        return self._dispatch(
+            "strongest_station", coords, powers, points, (alpha,), 0
+        )
+
+    def received_mask_matrix(self, coords, powers, points, noise, beta, alpha):
+        return self._dispatch(
+            "received_mask_matrix", coords, powers, points, (noise, beta, alpha), 1
+        )
+
+    def heard_station(self, coords, powers, points, noise, beta, alpha, no_reception):
+        return self._dispatch(
+            "heard_station",
+            coords,
+            powers,
+            points,
+            (noise, beta, alpha, no_reception),
+            0,
+        )
+
+
+register_backend("multiprocess", MultiprocessBackend())

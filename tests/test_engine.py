@@ -1,9 +1,14 @@
 """Tests for the batched query engine (`repro.engine`).
 
-Three families:
+Four families:
 
-* backend equivalence — the numpy and pure-Python reference backends agree
-  on randomized networks within 1e-9;
+* backend equivalence — every registered backend (numpy, multiprocess, and
+  numba when installed) agrees with the pure-Python reference backend on
+  randomized networks within 1e-9, including the coincident-point and
+  overflow-close columns;
+* backend selection — the ContextVar-backed registry: nesting, exception
+  safety, cross-thread isolation, and re-registration taking effect while a
+  name is active;
 * batch-vs-scalar agreement — every locator's ``locate_batch`` and every
   batch query function reproduces the scalar code path pointwise;
 * edge cases — empty and single-point batches, coincident points, and the
@@ -13,24 +18,31 @@ Three families:
 from __future__ import annotations
 
 import math
+import threading
 
 import numpy as np
 import pytest
 
 from repro import Point, SINRDiagram, Station, WirelessNetwork
 from repro.engine import (
+    NUMBA_AVAILABLE,
+    MultiprocessBackend,
+    NumbaBackend,
     active_backend,
     as_points_array,
+    available_backends,
     energy_batch,
     get_backend,
     heard_station_batch,
     kernels,
     locate_batch,
     received_mask,
+    register_backend,
     sinr_batch,
     strongest_station_batch,
     use_backend,
 )
+from repro.engine import backend as backend_module
 from repro.exceptions import ReproError
 from repro.model.sinr import received_energy, sinr_ratio
 from repro.pointlocation import (
@@ -39,6 +51,36 @@ from repro.pointlocation import (
     VoronoiCandidateLocator,
 )
 from repro.workloads import random_query_array, uniform_random_network
+
+needs_numba = pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+
+#: Every backend that must agree with the "reference" ground truth.  The
+#: "numba" entry is always present in the matrix and skip-marked when the
+#: optional dependency is missing, so CI stays green either way.
+CANDIDATE_BACKENDS = [
+    pytest.param(name, marks=needs_numba) if name == "numba" else name
+    for name in sorted(set(available_backends()) - {"reference"} | {"numba"})
+]
+
+
+@pytest.fixture(scope="module")
+def pooled_multiprocess():
+    """A multiprocess backend whose pool is genuinely exercised.
+
+    The registered default falls through to numpy below 2048 points, which
+    would make the equivalence tests vacuous; this instance shards every
+    batch of >= 2 points across two real worker processes.
+    """
+    backend = MultiprocessBackend(workers=2, min_batch_size=1)
+    yield backend
+    backend.close()
+
+
+@pytest.fixture(params=CANDIDATE_BACKENDS)
+def candidate_backend(request, pooled_multiprocess):
+    if request.param == "multiprocess":
+        return pooled_multiprocess
+    return get_backend(request.param)
 
 
 def random_network(seed: int, noise: float = 0.005, beta: float = 3.0):
@@ -74,9 +116,32 @@ class TestAsPointsArray:
         assert as_points_array([]).shape == (0, 2)
         assert as_points_array(np.empty((0, 2))).shape == (0, 2)
 
+    def test_empty_ndarray_is_empty_batch(self):
+        # np.array([]) has shape (0,); it must coerce like the empty list.
+        assert as_points_array(np.array([])).shape == (0, 2)
+        assert as_points_array(np.zeros((0,))).shape == (0, 2)
+        # Zero-size but malformed 2-d shapes stay errors: a (5, 0) array is
+        # five queries whose coordinate axis was sliced away, not a batch.
+        with pytest.raises(ValueError):
+            as_points_array(np.zeros((5, 0)))
+        with pytest.raises(ValueError):
+            as_points_array(np.zeros((0, 3)))
+
+    def test_single_point_promotions(self):
+        single = as_points_array([Point(3.0, 4.0)])
+        np.testing.assert_array_equal(single, [[3.0, 4.0]])
+        flat = as_points_array(np.array([3.0, 4.0]))
+        np.testing.assert_array_equal(flat, [[3.0, 4.0]])
+
     def test_rejects_bad_shapes(self):
         with pytest.raises(ValueError):
             as_points_array(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            as_points_array(np.zeros((4,)))
+        with pytest.raises(ValueError):
+            as_points_array(np.zeros((2, 2, 2)))
+        with pytest.raises(ValueError):
+            as_points_array([1.0])  # a lone coordinate is not a point
 
 
 # ----------------------------------------------------------------------
@@ -93,8 +158,81 @@ class TestBackendSelection:
         assert active_backend().name == "numpy"
 
     def test_unknown_backend_raises(self):
-        with pytest.raises(ReproError):
+        with pytest.raises(ReproError, match="available"):
             get_backend("gpu-of-the-future")
+        with pytest.raises(ReproError, match="gpu-of-the-future"):
+            use_backend("gpu-of-the-future")
+
+    def test_registered_backend_matrix(self):
+        names = set(available_backends())
+        assert {"numpy", "reference", "multiprocess"} <= names
+        assert ("numba" in names) == NUMBA_AVAILABLE
+
+    def test_use_backend_nesting_unwinds_in_order(self):
+        with use_backend("reference"):
+            assert active_backend().name == "reference"
+            with use_backend("multiprocess"):
+                assert active_backend().name == "multiprocess"
+            assert active_backend().name == "reference"
+        assert active_backend().name == "numpy"
+
+    def test_use_backend_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_backend("reference"):
+                assert active_backend().name == "reference"
+                raise RuntimeError("boom")
+        assert active_backend().name == "numpy"
+
+    def test_use_backend_is_isolated_across_threads(self):
+        barrier = threading.Barrier(2, timeout=10.0)
+        seen = {}
+        errors = []
+
+        def worker(name):
+            try:
+                with use_backend(name):
+                    barrier.wait()  # both threads hold their selection...
+                    seen[name] = active_backend().name
+                    barrier.wait()  # ...and observe it concurrently
+            except Exception as exc:  # pragma: no cover - diagnostic only
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(name,))
+            for name in ("reference", "multiprocess")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert seen == {"reference": "reference", "multiprocess": "multiprocess"}
+        # The main thread's selection never saw either of them.
+        assert active_backend().name == "numpy"
+
+    def test_use_backend_accepts_backend_object(self):
+        backend = MultiprocessBackend(workers=1)
+        with use_backend(backend) as selected:
+            assert selected is backend
+            assert active_backend() is backend
+        assert active_backend().name == "numpy"
+
+    def test_reregistration_takes_effect_while_active(self):
+        class First:
+            name = "first"
+
+        class Second:
+            name = "second"
+
+        try:
+            register_backend("ephemeral", First())
+            with use_backend("ephemeral"):
+                assert active_backend().name == "first"
+                register_backend("ephemeral", Second())
+                # A name-based selection re-resolves: no stale object.
+                assert active_backend().name == "second"
+        finally:
+            backend_module._BACKENDS.pop("ephemeral", None)
 
     def test_per_call_backend_override(self):
         network = random_network(seed=2)
@@ -105,47 +243,185 @@ class TestBackendSelection:
 
 
 # ----------------------------------------------------------------------
-# Backend equivalence (numpy vs pure-Python reference)
+# Backend equivalence (every registered backend vs pure-Python reference)
 # ----------------------------------------------------------------------
 class TestBackendEquivalence:
     @pytest.mark.parametrize("seed", [0, 1, 2, 3])
-    def test_sinr_matrix_agrees(self, seed):
+    def test_sinr_matrix_agrees(self, seed, candidate_backend):
         network = random_network(seed=seed, noise=0.01 * seed, beta=2.0 + seed)
         points = queries_for(network, count=120, seed=seed + 10)
-        numpy_result = sinr_batch(network, points, backend="numpy")
+        candidate_result = sinr_batch(network, points, backend=candidate_backend)
         reference_result = sinr_batch(network, points, backend="reference")
-        np.testing.assert_allclose(numpy_result, reference_result, rtol=1e-9)
+        np.testing.assert_allclose(candidate_result, reference_result, rtol=1e-9)
 
     @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_masks_and_argmax_agree(self, seed):
+    def test_masks_and_argmax_agree(self, seed, candidate_backend):
         network = random_network(seed=seed)
         points = queries_for(network, count=120, seed=seed + 20)
         for index in range(len(network)):
             np.testing.assert_array_equal(
-                received_mask(network, index, points, backend="numpy"),
+                received_mask(network, index, points, backend=candidate_backend),
                 received_mask(network, index, points, backend="reference"),
             )
         np.testing.assert_array_equal(
-            strongest_station_batch(network, points, backend="numpy"),
+            strongest_station_batch(network, points, backend=candidate_backend),
             strongest_station_batch(network, points, backend="reference"),
         )
         np.testing.assert_array_equal(
-            heard_station_batch(network, points, backend="numpy"),
+            heard_station_batch(network, points, backend=candidate_backend),
             heard_station_batch(network, points, backend="reference"),
         )
 
-    def test_equivalence_includes_station_locations(self):
+    def test_equivalence_includes_coincident_and_overflow_columns(
+        self, candidate_backend
+    ):
         network = random_network(seed=5)
-        points = np.vstack([network.coords, queries_for(network, count=20)])
+        # Station locations (coincident columns), points overflow-close to a
+        # station, and ordinary query points, all in one batch.
+        points = np.vstack(
+            [
+                network.coords,
+                network.coords[0] + np.array([1e-200, 0.0]),
+                network.coords[1] + np.array([0.0, 1e-160]),
+                queries_for(network, count=20),
+            ]
+        )
+        candidate = sinr_batch(network, points, backend=candidate_backend)
         np.testing.assert_allclose(
-            sinr_batch(network, points, backend="numpy"),
+            candidate,
             sinr_batch(network, points, backend="reference"),
             rtol=1e-9,
         )
+        assert not np.isnan(candidate).any()
+        np.testing.assert_allclose(
+            energy_batch(network, points, backend=candidate_backend),
+            energy_batch(network, points, backend="reference"),
+            rtol=1e-9,
+        )
         np.testing.assert_array_equal(
-            heard_station_batch(network, points, backend="numpy"),
+            heard_station_batch(network, points, backend=candidate_backend),
             heard_station_batch(network, points, backend="reference"),
         )
+
+
+# ----------------------------------------------------------------------
+# Backend-specific behaviour
+# ----------------------------------------------------------------------
+class TestMultiprocessBackend:
+    def test_small_batches_fall_through_without_a_pool(self):
+        backend = MultiprocessBackend(workers=4, min_batch_size=1_000_000)
+        network = random_network(seed=30)
+        points = queries_for(network, count=64)
+        np.testing.assert_allclose(
+            sinr_batch(network, points, backend=backend),
+            sinr_batch(network, points, backend="numpy"),
+            rtol=0,
+        )
+        assert backend._executor is None  # never paid pool start-up
+
+    def test_large_batches_use_the_pool(self, pooled_multiprocess):
+        network = random_network(seed=31)
+        points = queries_for(network, count=64)
+        labels = heard_station_batch(network, points, backend=pooled_multiprocess)
+        assert pooled_multiprocess._executor is not None
+        np.testing.assert_array_equal(
+            labels, heard_station_batch(network, points, backend="numpy")
+        )
+
+    def test_single_worker_never_shards(self):
+        backend = MultiprocessBackend(workers=1, min_batch_size=1)
+        network = random_network(seed=32)
+        points = queries_for(network, count=32)
+        np.testing.assert_array_equal(
+            strongest_station_batch(network, points, backend=backend),
+            strongest_station_batch(network, points, backend="numpy"),
+        )
+        assert backend._executor is None
+
+    def test_worker_count_validation_and_close(self):
+        with pytest.raises(ValueError):
+            MultiprocessBackend(workers=0)
+        with MultiprocessBackend(workers=2, min_batch_size=1) as backend:
+            network = random_network(seed=33)
+            points = queries_for(network, count=16)
+            sinr_batch(network, points, backend=backend)
+        assert backend._executor is None  # context exit closed the pool
+
+    def test_empty_batch(self, pooled_multiprocess):
+        network = random_network(seed=34)
+        assert sinr_batch(network, [], backend=pooled_multiprocess).shape == (
+            len(network),
+            0,
+        )
+
+
+class TestNumbaBackend:
+    @needs_numba
+    def test_registered_and_selectable(self):
+        assert "numba" in available_backends()
+        with use_backend("numba"):
+            assert active_backend().name == "numba"
+
+    @needs_numba
+    def test_agrees_with_numpy_on_a_quick_workload(self):
+        network = random_network(seed=40)
+        points = queries_for(network, count=50)
+        np.testing.assert_allclose(
+            sinr_batch(network, points, backend="numba"),
+            sinr_batch(network, points, backend="numpy"),
+            rtol=1e-12,
+        )
+
+    def test_kernel_logic_matches_numpy_even_without_jit(self):
+        # Without numba the @njit placeholder leaves the kernel definitions
+        # as plain Python functions, so their loop logic is verifiable with
+        # or without the optional dependency.  Coincident columns are
+        # included; pow-overflow columns are not, because pure Python raises
+        # OverflowError where compiled code saturates to inf (that edge is
+        # covered by the equivalence tests on the [numba] CI leg).
+        from repro.engine import numba_backend as nb
+
+        network = random_network(seed=41)
+        coords = np.ascontiguousarray(network.coords, dtype=np.float64)
+        powers = np.ascontiguousarray(network.powers_array(), dtype=np.float64)
+        points = np.ascontiguousarray(
+            np.vstack([network.coords, queries_for(network, count=40)])
+        )
+        noise, beta, alpha = network.noise, network.beta, network.alpha
+
+        np.testing.assert_array_equal(
+            nb._energy_matrix(coords, powers, points, alpha) == np.inf,
+            energy_batch(network, points) == np.inf,
+        )
+        np.testing.assert_allclose(
+            nb._sinr_matrix(coords, powers, points, noise, alpha),
+            sinr_batch(network, points, backend="numpy"),
+            rtol=1e-12,
+        )
+        np.testing.assert_array_equal(
+            nb._strongest_station(coords, powers, points, alpha),
+            strongest_station_batch(network, points, backend="numpy"),
+        )
+        np.testing.assert_array_equal(
+            nb._received_mask_matrix(coords, powers, points, noise, beta, alpha),
+            get_backend("numpy").received_mask_matrix(
+                coords, powers, points, noise, beta, alpha
+            ),
+        )
+        np.testing.assert_array_equal(
+            nb._heard_station(coords, powers, points, noise, beta, alpha, -1),
+            heard_station_batch(network, points, backend="numpy"),
+        )
+
+    @pytest.mark.skipif(
+        NUMBA_AVAILABLE, reason="error path only exists without numba"
+    )
+    def test_missing_dependency_raises_clear_error(self):
+        assert "numba" not in available_backends()
+        with pytest.raises(ReproError, match="numba"):
+            NumbaBackend()
+        with pytest.raises(ReproError, match="available"):
+            get_backend("numba")
 
 
 # ----------------------------------------------------------------------
@@ -315,12 +591,12 @@ class TestCoincidentAndOverflowEdges:
         )
         assert drowned == 0.0
 
-    def test_no_nan_leakage_through_batch_sinr(self):
+    def test_no_nan_leakage_through_batch_sinr(self, candidate_backend):
         network = self.network()
         points = np.array(
             [[0.0, 0.0], [4.0, 0.0], [1e-200, 0.0], [1e-160, 0.0], [2.0, 1.0]]
         )
-        for backend in ("numpy", "reference"):
+        for backend in (candidate_backend, "reference"):
             matrix = sinr_batch(network, points, backend=backend)
             assert not np.isnan(matrix).any()
         # The co-located station owns its point: inf for it, 0 for the rest.
