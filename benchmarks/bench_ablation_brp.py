@@ -36,12 +36,12 @@ def check_soundness(network, structure, samples=600):
     rng = random.Random(17)
     for _ in range(samples):
         point = Point(rng.uniform(-3, 15), rng.uniform(-3, 15))
-        answer = structure.locate(point)
+        answer = structure.locate_answer(point)
         truth = exact.locate(point)
         if answer.label is ZoneLabel.INSIDE:
             assert truth == answer.station
         elif answer.label is ZoneLabel.OUTSIDE:
-            assert truth is None
+            assert truth == -1
 
 
 @pytest.mark.paper

@@ -241,5 +241,4 @@ def test_batch_answers_match_scalar_on_workload(workload):
     brute = BruteForceLocator(network)
     labels = brute.locate_batch(sample)
     for (x, y), label in zip(sample, labels):
-        scalar = brute.locate(Point(x, y))
-        assert (scalar if scalar is not None else -1) == label
+        assert brute.locate(Point(x, y)) == label

@@ -1,0 +1,143 @@
+"""Sharded point location vs. the flat Theorem 3 structure.
+
+The acceptance workload: a 200-station uniform random deployment and a
+20k-point query batch.  The flat (unsharded) ``theorem3`` structure answers
+through one global nearest-station front-end over all n stations; the
+sharded locator routes the batch to spatial shards first, so per-shard work
+shrinks with the shard count while the final full-network verification keeps
+every answer bit-identical to brute force.
+
+The module sweeps shard counts and both partitioners, reports build and
+query throughput, and gates on the best sharded configuration beating the
+flat structure's query throughput.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink the workload (CI smoke mode) and
+``REPRO_BENCH_MIN_SPEEDUP=<float>`` to override the speedup gate on slow or
+noisy runners.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import Point
+from repro.pointlocation import get_locator
+from repro.workloads import random_query_array, uniform_random_network
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+STATION_COUNT = 50 if QUICK else 200
+QUERY_COUNT = 2_000 if QUICK else 20_000
+SHARD_COUNTS = (1, 4, 8) if QUICK else (1, 2, 4, 8, 16)
+#: The flat structure is built once with the cheap cover (the vectorised
+#: ray sweep); epsilon is mid-range so the structure is realistic, not tiny.
+DS_OPTIONS = {"epsilon": 0.5, "cover_method": "ray_sweep"}
+
+
+def _speedup_floor(default: float) -> float:
+    override = os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "")
+    return float(override) if override.strip() else default
+
+
+@pytest.fixture(scope="module")
+def workload():
+    side = 4.0 * STATION_COUNT ** 0.5
+    network = uniform_random_network(
+        STATION_COUNT,
+        side=side,
+        minimum_separation=1.5,
+        noise=0.002,
+        beta=3.0,
+        seed=23,
+    )
+    queries = random_query_array(
+        QUERY_COUNT, Point(-2.0, -2.0), Point(side + 2.0, side + 2.0), seed=17
+    )
+    return network, queries
+
+
+def _query_seconds(locator, queries, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        locator.locate_batch(queries)
+        best = min(best, time.perf_counter() - start)
+    return best / len(queries)
+
+
+@pytest.mark.paper
+def test_sharded_beats_flat_theorem3(workload):
+    """The acceptance gate: best sharded config > flat DS query throughput."""
+    network, queries = workload
+
+    start = time.perf_counter()
+    flat = get_locator("theorem3").build(network, **DS_OPTIONS)
+    flat_build = time.perf_counter() - start
+    flat_seconds = _query_seconds(flat, queries)
+
+    truth = get_locator("brute-force").build(network).locate_batch(queries)
+    np.testing.assert_array_equal(flat.locate_batch(queries), truth)
+
+    print(
+        f"\nstations={STATION_COUNT} queries={QUERY_COUNT}: flat theorem3 "
+        f"build {flat_build:.2f}s, query {flat_seconds * 1e6:.2f} us "
+        f"({1.0 / flat_seconds:,.0f} q/s), {flat.size_estimate()} cells"
+    )
+    print(f"{'configuration':>32} {'build s':>8} {'query us':>9} "
+          f"{'q/s':>12} {'vs flat':>8}")
+
+    best_speedup = 0.0
+    sweep = [
+        (f"sharded:voronoi kd x{k}", "sharded:voronoi",
+         {"shards": k, "partitioner": "kd"})
+        for k in SHARD_COUNTS
+    ]
+    sweep += [
+        (f"sharded:voronoi uniform x{k}", "sharded:voronoi",
+         {"shards": k, "partitioner": "uniform"})
+        for k in SHARD_COUNTS[-2:]
+    ]
+    sweep.append(
+        (
+            f"sharded:theorem3 kd x{SHARD_COUNTS[-1]}",
+            "sharded:theorem3",
+            {"shards": SHARD_COUNTS[-1], "inner_options": DS_OPTIONS},
+        )
+    )
+    for label, name, options in sweep:
+        start = time.perf_counter()
+        locator = get_locator(name).build(network, **options)
+        build_seconds = time.perf_counter() - start
+        np.testing.assert_array_equal(locator.locate_batch(queries), truth)
+        seconds = _query_seconds(locator, queries)
+        speedup = flat_seconds / seconds
+        best_speedup = max(best_speedup, speedup)
+        print(
+            f"{label:>32} {build_seconds:>8.2f} {seconds * 1e6:>9.2f} "
+            f"{1.0 / seconds:>12,.0f} {speedup:>7.2f}x"
+        )
+
+    # Sharding must pay on this workload: the best configuration beats the
+    # flat structure (default floor 1.2x; REPRO_BENCH_MIN_SPEEDUP overrides
+    # for slow or noisy runners).
+    floor = _speedup_floor(1.0 if QUICK else 1.2)
+    assert best_speedup >= floor
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_throughput_sharded_voronoi(benchmark, workload, shards):
+    network, queries = workload
+    locator = get_locator("sharded:voronoi").build(
+        network, shards=shards, partitioner="kd"
+    )
+    benchmark(locator.locate_batch, queries)
+    benchmark.extra_info["stations"] = STATION_COUNT
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["shard_sizes"] = locator.shard_sizes()
+    benchmark.extra_info["per_query_us"] = round(
+        benchmark.stats.stats.mean / QUERY_COUNT * 1e6, 3
+    )

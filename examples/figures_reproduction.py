@@ -99,7 +99,9 @@ def reproduce_figure6() -> None:
     for r in range(rows - 1, -1, -2):
         line = []
         for c in range(0, columns, 2):
-            answer = structure.locate(Point(float(raster.xs[c]), float(raster.ys[r])))
+            answer = structure.locate_answer(
+                Point(float(raster.xs[c]), float(raster.ys[r]))
+            )
             if answer.label is ZoneLabel.INSIDE:
                 line.append(str(answer.station))
             elif answer.label is ZoneLabel.UNCERTAIN:

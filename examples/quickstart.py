@@ -75,12 +75,12 @@ def main() -> None:
         f"built in {structure.report.build_seconds:.2f}s"
     )
     for probe in [Point(0.5, 0.5), Point(3.0, 2.5), Point(2.0, 2.0), Point(12.0, -3.0)]:
-        answer = structure.locate(probe)
+        answer = structure.locate_answer(probe)
         truth = exact.locate(probe)
         print(
             f"  query {probe.as_tuple()}: {answer.label.value} "
             f"(candidate station s{answer.station}); exact answer: "
-            f"{'s' + str(truth) if truth is not None else 'nothing'}"
+            f"{'s' + str(truth) if truth >= 0 else 'nothing'}"
         )
 
 

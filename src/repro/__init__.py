@@ -12,7 +12,8 @@ lives in the subpackages:
 * :mod:`repro.engine` — the batched query engine (vectorised SINR kernels,
   pluggable backends, bulk point-location),
 * :mod:`repro.graphs` — graph-based baselines (UDG, Quasi-UDG, ...),
-* :mod:`repro.pointlocation` — the approximate point-location structure,
+* :mod:`repro.pointlocation` — the point-location structures behind the
+  unified ``Locator`` protocol and registry, including spatial sharding,
 * :mod:`repro.analysis` — convexity / fatness / theorem verification,
 * :mod:`repro.diagrams` — raster diagrams, contours, exports, paper figures,
 * :mod:`repro.workloads` — network generators and benchmark scenarios.

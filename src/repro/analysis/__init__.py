@@ -15,6 +15,7 @@ from .experiments import (
     run_figure3_4,
     run_figure5,
     run_figure6,
+    run_sharded_location,
     run_theorem1,
     run_theorem2,
     run_theorem3,
@@ -51,6 +52,7 @@ __all__ = [
     "run_figure3_4",
     "run_figure5",
     "run_figure6",
+    "run_sharded_location",
     "run_theorem1",
     "run_theorem2",
     "run_theorem3",

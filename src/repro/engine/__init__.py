@@ -56,7 +56,10 @@ Architecture
     :func:`strongest_station_batch` and :func:`locate_batch` (which
     dispatches to a locator's native ``locate_batch`` fast path when
     present).  Query points may be an ``(m, 2)`` array, a sequence of
-    :class:`Point` or ``(x, y)`` tuples.
+    :class:`Point` or ``(x, y)`` tuples.  Backends may additionally offer a
+    ``received_mask_row`` fast path (one station's reception row without the
+    other ``n - 1`` SINR rows — the hot kernel of zone-boundary probing);
+    :func:`received_mask` uses it when the active backend provides one.
 
 Semantics
 =========
@@ -85,6 +88,7 @@ from .batch import (
     energy_batch,
     heard_station_batch,
     locate_batch,
+    received_at,
     received_mask,
     sinr_batch,
     strongest_station_batch,
@@ -112,6 +116,7 @@ __all__ = [
     "heard_station_batch",
     "kernels",
     "locate_batch",
+    "received_at",
     "received_mask",
     "register_backend",
     "sinr_batch",

@@ -111,12 +111,31 @@ class QueryBackend(Protocol):
 
 
 class NumpyBackend:
-    """The vectorised default backend (thin façade over the kernels)."""
+    """The vectorised default backend (thin façade over the kernels).
+
+    Besides the protocol methods it offers ``received_mask_row`` and
+    ``received_mask_at``, *optional* fast paths (not part of
+    :class:`QueryBackend`) that compute one station's (resp. one per-point
+    candidate's) reception indicator without the other ``n - 1`` SINR rows;
+    :func:`repro.engine.batch.received_mask` and
+    :func:`repro.engine.batch.received_at` use them when the active backend
+    provides them and fall back to the full matrix otherwise.
+    """
 
     name = "numpy"
 
     def energy_matrix(self, coords, powers, points, alpha):
         return kernels.energy_matrix(coords, powers, points, alpha)
+
+    def received_mask_row(self, coords, powers, points, index, noise, beta, alpha):
+        return kernels.received_mask_row(
+            coords, powers, points, index, noise, beta, alpha
+        )
+
+    def received_mask_at(self, coords, powers, points, indices, noise, beta, alpha):
+        return kernels.received_mask_at(
+            coords, powers, points, indices, noise, beta, alpha
+        )
 
     def sinr_matrix(self, coords, powers, points, noise, alpha):
         return kernels.sinr_matrix(coords, powers, points, noise, alpha)

@@ -28,6 +28,7 @@ __all__ = [
     "sinr_batch",
     "strongest_station_batch",
     "received_mask",
+    "received_at",
     "heard_station_batch",
     "locate_batch",
 ]
@@ -130,10 +131,24 @@ def received_mask(
 ) -> np.ndarray:
     """Boolean array: is station ``index`` received at each point?
 
-    Agrees pointwise with :meth:`WirelessNetwork.is_received`.
+    Agrees pointwise with :meth:`WirelessNetwork.is_received`.  Backends may
+    offer a row-only fast path (``received_mask_row``) that skips the other
+    ``n - 1`` SINR rows; without one, the full mask matrix is computed and
+    the row extracted.
     """
     engine = get_backend(backend)
     pts = as_points_array(points)
+    row_kernel = getattr(engine, "received_mask_row", None)
+    if row_kernel is not None:
+        return row_kernel(
+            network.coords,
+            network.powers_array(),
+            pts,
+            index,
+            network.noise,
+            network.beta,
+            network.alpha,
+        )
     return engine.received_mask_matrix(
         network.coords,
         network.powers_array(),
@@ -142,6 +157,54 @@ def received_mask(
         network.beta,
         network.alpha,
     )[index]
+
+
+def received_at(
+    network: "WirelessNetwork",
+    station_indices,
+    points: PointsLike,
+    backend: "str | QueryBackend | None" = None,
+) -> np.ndarray:
+    """Per-point reception check of a *per-point* candidate station.
+
+    ``station_indices[j]`` names the station whose reception is tested at
+    ``points[j]``; the result is a boolean array with the semantics of
+    :meth:`WirelessNetwork.is_received` (coincident-point rules included).
+    This is the one verification idiom shared by every locator fast path —
+    Voronoi candidates, the Theorem 3 uncertain-band fallback, and the
+    sharded locator's full-network candidate check all gather the same mask.
+    Backends may offer a gathered fast path (``received_mask_at``) that
+    skips the other ``n - 1`` SINR rows; without one, the full mask matrix
+    is computed and gathered.
+    """
+    engine = get_backend(backend)
+    pts = as_points_array(points)
+    indices = np.asarray(station_indices, dtype=np.intp)
+    if indices.shape != (len(pts),):
+        raise ValueError(
+            f"expected one station index per point ({len(pts)}), "
+            f"got shape {indices.shape}"
+        )
+    gather_kernel = getattr(engine, "received_mask_at", None)
+    if gather_kernel is not None:
+        return gather_kernel(
+            network.coords,
+            network.powers_array(),
+            pts,
+            indices,
+            network.noise,
+            network.beta,
+            network.alpha,
+        )
+    mask = engine.received_mask_matrix(
+        network.coords,
+        network.powers_array(),
+        pts,
+        network.noise,
+        network.beta,
+        network.alpha,
+    )
+    return mask[indices, np.arange(len(pts))]
 
 
 def heard_station_batch(
@@ -171,11 +234,12 @@ def locate_batch(locator, points: PointsLike) -> List[object]:
     """Answer a batch of point-location queries through any locator.
 
     Uses the locator's native ``locate_batch`` fast path when it has one and
-    falls back to looping its scalar ``locate`` otherwise, so the call works
-    uniformly across :class:`BruteForceLocator`,
-    :class:`VoronoiCandidateLocator`, :class:`PointLocationStructure` and any
-    future locator.  Returns a list of whatever the locator's ``locate``
-    returns, in query order.
+    falls back to looping its scalar ``locate`` otherwise.  Every locator
+    implementing the :class:`repro.pointlocation.registry.Locator` protocol
+    (all registered ones: brute-force, voronoi, theorem3, sharded) natively
+    returns an ``int64`` station-index array with ``NO_RECEPTION`` (-1)
+    where nothing is heard; for non-protocol objects the fallback returns a
+    list of whatever their ``locate`` yields, in query order.
     """
     native = getattr(locator, "locate_batch", None)
     if native is not None:

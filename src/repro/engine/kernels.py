@@ -38,6 +38,8 @@ __all__ = [
     "sinr_matrix",
     "strongest_station",
     "received_mask_matrix",
+    "received_mask_at",
+    "received_mask_row",
     "heard_station",
 ]
 
@@ -84,9 +86,15 @@ def energy_matrix(
     """
     squared = pairwise_squared_distances(station_coordinates, points)
     with np.errstate(divide="ignore", over="ignore"):
-        energies = powers[:, None] * np.power(squared, -alpha / 2.0)
-    # np.power already yields inf at squared == 0 for any alpha > 0, but make
-    # the coincident case explicit so nothing can scale or NaN it away.
+        if alpha == 2.0:
+            # The paper's default exponent: a plain reciprocal is several
+            # times faster than np.power on large matrices and this is the
+            # innermost loop of every batch query.
+            energies = powers[:, None] / squared
+        else:
+            energies = powers[:, None] * np.power(squared, -alpha / 2.0)
+    # Division / np.power already yield inf at squared == 0, but make the
+    # coincident case explicit so nothing can scale or NaN it away.
     return np.where(
         coincidence_matrix(station_coordinates, points), np.inf, energies
     )
@@ -187,6 +195,68 @@ def received_mask_matrix(
     ratio = sinr_matrix(station_coordinates, powers, points, noise, alpha)
     return _mask_from_ratio(
         ratio, coincidence_matrix(station_coordinates, points), beta
+    )
+
+
+def received_mask_at(
+    station_coordinates: np.ndarray,
+    powers: np.ndarray,
+    points: np.ndarray,
+    indices: np.ndarray,
+    noise: float,
+    beta: float,
+    alpha: float = 2.0,
+) -> np.ndarray:
+    """Reception indicator of a *per-point* station, shape ``(m,)``.
+
+    Entry ``j`` equals ``received_mask_matrix(...)[indices[j], j]``, but
+    computed without materialising the other ``n - 1`` SINR rows: the energy
+    matrix (needed for the interference total) is the only ``(n, m)`` pass.
+    This is the verification kernel of the locator fast paths, where each
+    point has exactly one candidate station to check.
+    """
+    energies = energy_matrix(station_coordinates, powers, points, alpha)
+    at_station = coincidence_matrix(station_coordinates, points)
+    coincident_columns = at_station.any(axis=0)
+    columns = np.arange(len(points))
+
+    inf_energy = np.isinf(energies)
+    finite = np.where(inf_energy, 0.0, energies)
+    total = finite.sum(axis=0)
+    row_finite = finite[indices, columns]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        denominator = total - row_finite + noise
+        ratio = np.where(denominator > 0.0, row_finite / denominator, np.inf)
+    row_inf = inf_energy[indices, columns]
+    ratio = np.where(row_inf, np.inf, ratio)
+    other_inf = (inf_energy.sum(axis=0) - row_inf.astype(int)) > 0
+    ratio = np.where(other_inf & ~row_inf, 0.0, ratio)
+
+    mask = ratio >= beta
+    # A point occupied by stations is received exactly by the co-located
+    # stations (the scalar is_received rule), co-located or not this one.
+    return np.where(coincident_columns, at_station[indices, columns], mask)
+
+
+def received_mask_row(
+    station_coordinates: np.ndarray,
+    powers: np.ndarray,
+    points: np.ndarray,
+    index: int,
+    noise: float,
+    beta: float,
+    alpha: float = 2.0,
+) -> np.ndarray:
+    """Reception indicators of one station at every point, shape ``(m,)``.
+
+    Exactly row ``index`` of :func:`received_mask_matrix` — the constant-
+    index special case of :func:`received_mask_at`, and the hot kernel of
+    boundary probing, where thousands of points are tested against a single
+    zone per bisection step.
+    """
+    indices = np.full(len(points), index, dtype=np.intp)
+    return received_mask_at(
+        station_coordinates, powers, points, indices, noise, beta, alpha
     )
 
 

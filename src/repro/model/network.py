@@ -334,6 +334,50 @@ class WirelessNetwork:
             alpha=self.alpha,
         )
 
+    def subnetwork(self, indices) -> "WirelessNetwork":
+        """A station-subset view of this network (same noise, beta, alpha).
+
+        Args:
+            indices: the station indices to keep, in the order they should
+                appear in the subnetwork (an array-like of at least two
+                in-range indices; a repeated index yields co-located
+                duplicate stations, i.e. degenerate zones).
+
+        The sharded point-location subsystem partitions a network's stations
+        spatially and builds one locator per shard over such views.  The
+        cached :attr:`coords` / :meth:`powers_array` arrays of the parent are
+        sliced (not rebuilt from the station objects), so creating many
+        shard views of a large network stays cheap; both networks being
+        immutable keeps the shared caches trivially consistent.
+
+        Note the subnetwork's SINR arithmetic sees *only* the selected
+        stations — interference from the dropped stations is gone, so for
+        any station and point ``SINR_sub >= SINR_full``.  Exact sharded
+        query answers re-verify candidates against the full network.
+        """
+        selector = np.asarray(indices, dtype=np.intp).ravel()
+        if selector.size < 2:
+            raise NetworkConfigurationError(
+                f"a subnetwork needs at least two stations, got {selector.size}"
+            )
+        if selector.min() < 0 or selector.max() >= len(self.stations):
+            raise NetworkConfigurationError(
+                f"subnetwork indices out of range for {len(self.stations)} stations"
+            )
+        sub = WirelessNetwork(
+            stations=tuple(self.stations[i] for i in selector.tolist()),
+            noise=self.noise,
+            beta=self.beta,
+            alpha=self.alpha,
+        )
+        coords = self.coords[selector]
+        coords.setflags(write=False)
+        powers = self.powers_array()[selector]
+        powers.setflags(write=False)
+        sub.__dict__["_coords"] = coords
+        sub.__dict__["_powers"] = powers
+        return sub
+
     def with_station_moved(self, index: int, location: Point) -> "WirelessNetwork":
         """The network with station ``index`` relocated (Figure 1(B))."""
         stations = list(self.stations)

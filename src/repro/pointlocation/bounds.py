@@ -161,18 +161,19 @@ def measured_radius_bounds(
     polynomial = network.reception_polynomial(index)
     max_radius = explicit.Delta_upper * 1.0000001
 
-    boundary_points = []
-    for k in range(rays):
-        angle = 2.0 * math.pi * k / rays
-        distance = zone.boundary_distance_along_ray(
-            angle, max_radius=max_radius, tolerance=tolerance
+    # One lockstep bisection over all rays through the engine's batch
+    # reception mask instead of `rays` scalar probes of O(n) Python each.
+    angles = [2.0 * math.pi * k / rays for k in range(rays)]
+    distances = zone.boundary_distances_along_rays(
+        angles, max_radius=max_radius, tolerance=tolerance
+    )
+    boundary_points = [
+        Point(
+            station.x + distance * math.cos(angle),
+            station.y + distance * math.sin(angle),
         )
-        boundary_points.append(
-            Point(
-                station.x + distance * math.cos(angle),
-                station.y + distance * math.sin(angle),
-            )
-        )
+        for angle, distance in zip(angles, distances.tolist())
+    ]
 
     # Lower bound on delta: centred inradius of the inscribed polygon.
     inscribed = Polygon(boundary_points)

@@ -12,28 +12,44 @@ nearest-station search:
   (constant time), returning which of ``H_i^+``, ``H_i^?`` or ``H^-`` the
   point belongs to.
 
-The answer is *one-sided exact*: ``H_i^+`` is certified reception, ``H^-`` is
-certified non-reception, and only the thin ``H_i^?`` bands (whose total area
-is at most an ``eps``-fraction of the corresponding zone) remain undecided.
+The classification (:meth:`PointLocationStructure.locate_answer`) is
+*one-sided exact*: ``H_i^+`` is certified reception, ``H^-`` is certified
+non-reception, and only the thin ``H_i^?`` bands (whose total area is at most
+an ``eps``-fraction of the corresponding zone) remain undecided.
+
+As a registered :class:`~repro.pointlocation.registry.Locator` (name
+``"theorem3"``) the structure is *fully* exact: ``locate`` / ``locate_batch``
+return the uniform ``int64`` station-index answer by resolving the few
+uncertain-band points with one exact SINR evaluation each (certify first,
+verify the thin remainder), so its answers coincide with
+:class:`~repro.pointlocation.naive.BruteForceLocator` on the paper's
+``beta > 1`` regime.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..engine import kernels
-from ..engine.batch import PointsLike, as_points_array
+from ..engine.batch import NO_RECEPTION, PointsLike, as_points_array, received_at
 from ..exceptions import PointLocationError
 from ..geometry.kdtree import KDTree
 from ..geometry.point import Point
 from ..model.network import WirelessNetwork
 from ..model.reception import ReceptionZone
 from .bounds import RadiusBounds, radius_bounds
-from .qds import QDSBuildReport, ZoneGridIndex, ZoneLabel
+from .qds import (
+    INSIDE_CODE,
+    UNCERTAIN_CODE,
+    QDSBuildReport,
+    ZoneGridIndex,
+    ZoneLabel,
+)
+from .registry import register_locator
 from .segment_test import SamplingSegmentTest, SturmSegmentTest
 
 __all__ = ["PointLocationAnswer", "PointLocationStructure", "PreprocessingReport"]
@@ -41,7 +57,7 @@ __all__ = ["PointLocationAnswer", "PointLocationStructure", "PreprocessingReport
 
 @dataclass(frozen=True, slots=True)
 class PointLocationAnswer:
-    """The answer to one point-location query.
+    """The answer to one classified point-location query.
 
     Attributes:
         station: index of the only station that can possibly be heard at the
@@ -94,6 +110,8 @@ class PointLocationStructure:
             bounds only make the grid finer and the structure larger.
     """
 
+    name = "theorem3"
+
     def __init__(
         self,
         network: WirelessNetwork,
@@ -127,7 +145,7 @@ class PointLocationStructure:
         for index in range(len(network)):
             if network.location_is_shared(index):
                 # Degenerate zone: the station is heard nowhere but at its own
-                # point; queries fall through to OUTSIDE.
+                # point; queries fall through to the exact check.
                 continue
             zone_index = self._build_zone_index(index)
             self._zone_indexes[index] = zone_index
@@ -147,6 +165,11 @@ class PointLocationStructure:
             per_zone=per_zone_reports,
         )
 
+    @classmethod
+    def build(cls, network: WirelessNetwork, **options) -> "PointLocationStructure":
+        """Registry factory: options forward to the constructor."""
+        return cls(network, **options)
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -155,15 +178,21 @@ class PointLocationStructure:
         bounds = radius_bounds(self.network, index, method=self.bounds_method)
         self._bounds[index] = bounds
 
-        if self.segment_test_kind == "sturm":
-            segment_test = SturmSegmentTest(self.network.reception_polynomial(index))
-        elif self.segment_test_kind == "sampling":
-            segment_test = SamplingSegmentTest(zone.contains)
-        else:
+        if self.segment_test_kind not in ("sturm", "sampling"):
             raise PointLocationError(
                 f"unknown segment test kind: {self.segment_test_kind!r}"
             )
+        if self.cover_method != "brp":
+            # Only the BRP consults the segment test; building a Sturm chain
+            # over the degree-2n reception polynomial is the single most
+            # expensive step of preprocessing, so skip it when unused.
+            segment_test = None
+        elif self.segment_test_kind == "sturm":
+            segment_test = SturmSegmentTest(self.network.reception_polynomial(index))
+        else:
+            segment_test = SamplingSegmentTest(zone.contains)
 
+        probe_radius = bounds.Delta_upper * 1.0000001
         return ZoneGridIndex(
             inside=zone.contains,
             station=zone.station_location,
@@ -172,16 +201,21 @@ class PointLocationStructure:
             epsilon=self.epsilon,
             segment_test=segment_test,
             boundary_distance=lambda angle: zone.boundary_distance_along_ray(
-                angle, max_radius=bounds.Delta_upper * 1.0000001
+                angle, max_radius=probe_radius
+            ),
+            boundary_distance_batch=lambda angles, **kw: (
+                zone.boundary_distances_along_rays(
+                    angles, max_radius=probe_radius, **kw
+                )
             ),
             cover_method=self.cover_method,
         )
 
     # ------------------------------------------------------------------
-    # Queries
+    # Classified queries (the paper's three-way answer)
     # ------------------------------------------------------------------
-    def locate(self, point: Point) -> PointLocationAnswer:
-        """Answer one query in ``O(log n)`` time."""
+    def locate_answer(self, point: Point) -> PointLocationAnswer:
+        """Classify one query in ``O(log n)`` time (INSIDE / OUTSIDE / UNCERTAIN)."""
         candidate = self._tree.nearest_index(point)
         zone_index = self._zone_indexes.get(candidate)
         if zone_index is None:
@@ -190,26 +224,21 @@ class PointLocationStructure:
             station=candidate, label=zone_index.classify(point)
         )
 
-    def locate_many(self, points: Sequence[Point]) -> List[PointLocationAnswer]:
-        """Answer a batch of queries (delegates to the vectorised fast path)."""
-        return self.locate_batch(points)
-
-    def locate_batch(self, points: PointsLike) -> List[PointLocationAnswer]:
-        """Answer a batch of queries with a vectorised fast path.
+    def locate_answers(self, points: PointsLike) -> List[PointLocationAnswer]:
+        """Classify a batch of queries with a vectorised fast path.
 
         The nearest-candidate front-end runs as one vectorised distance
         argmin over the whole batch (lowest index on exact ties, where the
         k-d tree's visit order may differ — a measure-zero set), and each
         consulted zone structure classifies its group of points through the
-        vectorised :meth:`ZoneGridIndex.classify_batch`.  Answers agree with
-        per-point :meth:`locate` calls pointwise away from ties.
+        vectorised :meth:`ZoneGridIndex.classify_codes_batch`.  Answers agree
+        with per-point :meth:`locate_answer` calls pointwise away from ties.
         """
         pts = as_points_array(points)
         count = len(pts)
         if count == 0:
             return []
-        squared = kernels.pairwise_squared_distances(self.network.coords, pts)
-        candidates = np.argmin(squared, axis=0)
+        candidates = self._nearest_candidates(pts)
 
         answers: List[Optional[PointLocationAnswer]] = [None] * count
         for station in np.unique(candidates).tolist():
@@ -225,6 +254,74 @@ class PointLocationStructure:
                 answers[position] = PointLocationAnswer(station=station, label=label)
         return answers
 
+    def locate_many(self, points: Sequence[Point]) -> List[PointLocationAnswer]:
+        """Alias of :meth:`locate_answers` (the historical batch-answer name)."""
+        return self.locate_answers(points)
+
+    # ------------------------------------------------------------------
+    # Locator protocol (uniform int64 station-index answers)
+    # ------------------------------------------------------------------
+    def locate(self, point: Point) -> int:
+        """Index of the station heard at ``point``, or ``NO_RECEPTION`` (-1).
+
+        Certified INSIDE / OUTSIDE answers are free; a point falling in the
+        thin uncertainty band (or landing on a degenerate zone's candidate)
+        is resolved with one exact SINR evaluation, so the answer is always
+        exact while almost every query stays ``O(log n)``.
+        """
+        candidate = self._tree.nearest_index(point)
+        zone_index = self._zone_indexes.get(candidate)
+        if zone_index is None:
+            # Degenerate zone (shared location): heard only exactly at the
+            # station point; the exact check settles it.
+            return candidate if self.network.is_received(candidate, point) else NO_RECEPTION
+        label = zone_index.classify(point)
+        if label is ZoneLabel.INSIDE:
+            return candidate
+        if label is ZoneLabel.OUTSIDE:
+            return NO_RECEPTION
+        return candidate if self.network.is_received(candidate, point) else NO_RECEPTION
+
+    def locate_batch(self, points: PointsLike) -> np.ndarray:
+        """Vectorised :meth:`locate`: one ``int64`` label per point.
+
+        Candidates come from one vectorised argmin, certified cells are
+        answered from the grid structures, and the uncertain-band remainder
+        is settled by a single batched reception mask through the active
+        engine backend.
+        """
+        pts = as_points_array(points)
+        count = len(pts)
+        out = np.full(count, NO_RECEPTION, dtype=np.int64)
+        if count == 0:
+            return out
+        candidates = self._nearest_candidates(pts)
+
+        fallback: List[np.ndarray] = []
+        for station in np.unique(candidates).tolist():
+            selector = np.flatnonzero(candidates == station)
+            zone_index = self._zone_indexes.get(station)
+            if zone_index is None:
+                # Degenerate zone: only the exact check can answer.
+                fallback.append(selector)
+                continue
+            codes = zone_index.classify_codes_batch(pts[selector])
+            out[selector[codes == INSIDE_CODE]] = station
+            uncertain = selector[codes == UNCERTAIN_CODE]
+            if uncertain.size:
+                fallback.append(uncertain)
+
+        if fallback:
+            rows = np.concatenate(fallback)
+            heard = received_at(self.network, candidates[rows], pts[rows])
+            out[rows[heard]] = candidates[rows][heard]
+        return out
+
+    def _nearest_candidates(self, pts: np.ndarray) -> np.ndarray:
+        """Vectorised nearest-station front-end (lowest index on exact ties)."""
+        squared = kernels.pairwise_squared_distances(self.network.coords, pts)
+        return np.argmin(squared, axis=0)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -239,3 +336,6 @@ class PointLocationStructure:
     def size_estimate(self) -> int:
         """Total number of stored suspect cells (the ``O(n / eps)`` size)."""
         return self.report.total_suspect_cells
+
+
+register_locator("theorem3", PointLocationStructure)

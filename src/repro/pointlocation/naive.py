@@ -11,24 +11,27 @@ The paper motivates its data structure against two obvious alternatives:
 Both baselines answer *exactly*, unlike the approximate grid structure, and
 are used by the Theorem 3 benchmark to expose the query-time trade-off.
 
-Both locators also expose a ``locate_batch`` fast path: a single vectorised
-pass over an ``(m, 2)`` coordinate array through the engine kernels,
-returning an integer label array (``NO_RECEPTION`` = -1 where nothing is
-heard) whose entries agree with the scalar ``locate`` loop pointwise.
+Both implement the unified :class:`~repro.pointlocation.registry.Locator`
+protocol: ``locate`` returns the heard station's index (``NO_RECEPTION`` =
+-1 where nothing is heard), ``locate_batch`` answers an ``(m, 2)`` array in
+one vectorised pass through the active engine backend and returns an
+``int64`` label array agreeing with the scalar loop pointwise.  They are
+registered as ``"brute-force"`` and ``"voronoi"``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
+from ..engine.backend import get_backend
+from ..engine.batch import NO_RECEPTION, PointsLike, as_points_array, received_at
 from ..engine import kernels
-from ..engine.batch import NO_RECEPTION, PointsLike, as_points_array
 from ..geometry.kdtree import KDTree
 from ..geometry.point import Point
 from ..model.network import WirelessNetwork
+from .registry import register_locator
 
 __all__ = ["BruteForceLocator", "VoronoiCandidateLocator"]
 
@@ -39,23 +42,32 @@ class BruteForceLocator:
 
     network: WirelessNetwork
 
-    def locate(self, point: Point) -> Optional[int]:
-        """Index of the station heard at ``point``, or None."""
+    name = "brute-force"
+
+    @classmethod
+    def build(cls, network: WirelessNetwork, **options) -> "BruteForceLocator":
+        """Registry factory (takes no options)."""
+        if options:
+            raise TypeError(f"unexpected options: {sorted(options)}")
+        return cls(network)
+
+    def locate(self, point: Point) -> int:
+        """Index of the station heard at ``point``, or ``NO_RECEPTION`` (-1)."""
         for index in range(len(self.network)):
             if self.network.is_received(index, point):
                 return index
-        return None
+        return NO_RECEPTION
 
     def locate_batch(self, points: PointsLike) -> np.ndarray:
-        """Vectorised :meth:`locate`: one label per point, ``NO_RECEPTION`` for None.
+        """Vectorised :meth:`locate`: one ``int64`` label per point.
 
         Matches the scalar loop exactly, including its first-received-index
         rule (which matters only in the ``beta < 1`` regime where several
-        stations may qualify).
+        stations may qualify).  Runs through the active engine backend.
         """
         pts = as_points_array(points)
         network = self.network
-        mask = kernels.received_mask_matrix(
+        mask = get_backend().received_mask_matrix(
             network.coords,
             network.powers_array(),
             pts,
@@ -65,7 +77,7 @@ class BruteForceLocator:
         )
         any_received = mask.any(axis=0)
         first = np.argmax(mask, axis=0)
-        return np.where(any_received, first, NO_RECEPTION)
+        return np.where(any_received, first, NO_RECEPTION).astype(np.int64)
 
     def query_cost(self) -> int:
         """Number of energy evaluations a single query performs."""
@@ -81,40 +93,46 @@ class VoronoiCandidateLocator:
     (``O(log n)`` with the k-d tree) plus one SINR evaluation (``O(n)``).
     """
 
+    name = "voronoi"
+
     def __init__(self, network: WirelessNetwork):
         self.network = network
         self._tree = KDTree(network.locations())
 
-    def locate(self, point: Point) -> Optional[int]:
-        """Index of the station heard at ``point``, or None."""
+    @classmethod
+    def build(cls, network: WirelessNetwork, **options) -> "VoronoiCandidateLocator":
+        """Registry factory (takes no options)."""
+        if options:
+            raise TypeError(f"unexpected options: {sorted(options)}")
+        return cls(network)
+
+    def locate(self, point: Point) -> int:
+        """Index of the station heard at ``point``, or ``NO_RECEPTION`` (-1)."""
         candidate = self._tree.nearest_index(point)
         if self.network.is_received(candidate, point):
             return candidate
-        return None
+        return NO_RECEPTION
 
     def locate_batch(self, points: PointsLike) -> np.ndarray:
-        """Vectorised :meth:`locate`: one label per point, ``NO_RECEPTION`` for None.
+        """Vectorised :meth:`locate`: one ``int64`` label per point.
 
         The nearest candidate is found by a vectorised distance argmin
         (lowest index on exact ties) instead of the k-d tree; away from
         measure-zero equidistance ties the answers agree with the scalar
-        method pointwise.
+        method pointwise.  The reception check runs through the active
+        engine backend.
         """
         pts = as_points_array(points)
         network = self.network
         squared = kernels.pairwise_squared_distances(network.coords, pts)
         candidates = np.argmin(squared, axis=0)
-        mask = kernels.received_mask_matrix(
-            network.coords,
-            network.powers_array(),
-            pts,
-            network.noise,
-            network.beta,
-            network.alpha,
-        )
-        heard = mask[candidates, np.arange(len(pts))]
-        return np.where(heard, candidates, NO_RECEPTION)
+        heard = received_at(network, candidates, pts)
+        return np.where(heard, candidates, NO_RECEPTION).astype(np.int64)
 
     def query_cost(self) -> int:
         """Number of energy evaluations a single query performs."""
         return len(self.network)
+
+
+register_locator("brute-force", BruteForceLocator)
+register_locator("voronoi", VoronoiCandidateLocator)

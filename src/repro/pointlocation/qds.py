@@ -35,7 +35,14 @@ from ..geometry.point import Point
 from .brp import BoundaryCover, ray_sweep_boundary_cells, reconstruct_boundary_cells
 from .segment_test import SamplingSegmentTest, SegmentTest, SturmSegmentTest
 
-__all__ = ["ZoneLabel", "ZoneGridIndex", "QDSBuildReport"]
+__all__ = [
+    "ZoneLabel",
+    "ZoneGridIndex",
+    "QDSBuildReport",
+    "INSIDE_CODE",
+    "OUTSIDE_CODE",
+    "UNCERTAIN_CODE",
+]
 
 CellIndex = Tuple[int, int]
 
@@ -46,6 +53,20 @@ class ZoneLabel(str, Enum):
     INSIDE = "inside"  # the point is certified to belong to the zone (Q+).
     OUTSIDE = "outside"  # the point is certified to be outside the zone (Q-).
     UNCERTAIN = "uncertain"  # the point falls in the uncertainty band (Q?).
+
+
+#: Compact integer codes for :class:`ZoneLabel`, used by the batch fast paths
+#: (:meth:`ZoneGridIndex.classify_codes_batch`) so per-point answers stay in
+#: numpy arrays instead of enum lists.
+OUTSIDE_CODE = 0
+INSIDE_CODE = 1
+UNCERTAIN_CODE = 2
+
+_CODE_TO_LABEL = {
+    OUTSIDE_CODE: ZoneLabel.OUTSIDE,
+    INSIDE_CODE: ZoneLabel.INSIDE,
+    UNCERTAIN_CODE: ZoneLabel.UNCERTAIN,
+}
 
 
 @dataclass(frozen=True)
@@ -76,7 +97,10 @@ class ZoneGridIndex:
         segment_test: segment test used by the BRP (required unless
             ``cover_method='ray_sweep'``).
         boundary_distance: angle -> boundary distance function (required for
-            ``cover_method='ray_sweep'``).
+            ``cover_method='ray_sweep'`` unless the batch variant is given).
+        boundary_distance_batch: vectorised angle-array -> distance-array
+            function; when provided the ray sweep probes all rays through one
+            lockstep engine bisection instead of per-ray scalar loops.
         cover_method: ``"brp"`` (the paper's process, default) or
             ``"ray_sweep"`` (the ablation baseline).
     """
@@ -91,6 +115,7 @@ class ZoneGridIndex:
         segment_test: Optional[SegmentTest] = None,
         boundary_distance: Optional[Callable[[float], float]] = None,
         cover_method: str = "brp",
+        boundary_distance_batch: Optional[Callable[[object], object]] = None,
     ):
         if not 0.0 < epsilon < 1.0:
             raise PointLocationError(f"epsilon must be in (0, 1), got {epsilon}")
@@ -110,7 +135,9 @@ class ZoneGridIndex:
         gamma = min(gamma, delta_lower / 2.0)
         self.grid = Grid(origin=station, spacing=gamma)
 
-        cover = self._cover_boundary(cover_method, segment_test, boundary_distance)
+        cover = self._cover_boundary(
+            cover_method, segment_test, boundary_distance, boundary_distance_batch
+        )
         self._suspect: FrozenSet[CellIndex] = self._pad_to_nine_cells(
             cover.boundary_cells
         )
@@ -131,6 +158,7 @@ class ZoneGridIndex:
         cover_method: str,
         segment_test: Optional[SegmentTest],
         boundary_distance: Optional[Callable[[float], float]],
+        boundary_distance_batch: Optional[Callable[[object], object]] = None,
     ) -> BoundaryCover:
         if cover_method == "brp":
             if segment_test is None:
@@ -144,7 +172,7 @@ class ZoneGridIndex:
                 Delta_upper=self.Delta_upper,
             )
         if cover_method == "ray_sweep":
-            if boundary_distance is None:
+            if boundary_distance is None and boundary_distance_batch is None:
                 raise PointLocationError(
                     "the ray-sweep cover requires a boundary_distance function"
                 )
@@ -153,6 +181,7 @@ class ZoneGridIndex:
                 boundary_distance=boundary_distance,
                 station=self.station,
                 Delta_upper=self.Delta_upper,
+                boundary_distance_batch=boundary_distance_batch,
             )
         raise PointLocationError(f"unknown cover method: {cover_method!r}")
 
@@ -206,12 +235,36 @@ class ZoneGridIndex:
         coordinate array); the per-cell column lookups remain constant-time
         dictionary probes.  Answers agree with :meth:`classify` pointwise.
         """
+        return [
+            _CODE_TO_LABEL[code]
+            for code in self.classify_codes_batch(points).tolist()
+        ]
+
+    def classify_codes_batch(self, points: PointsLike) -> np.ndarray:
+        """Vectorised :meth:`classify_batch` returning compact integer codes.
+
+        Returns an ``int8`` array with one of :data:`OUTSIDE_CODE`,
+        :data:`INSIDE_CODE` or :data:`UNCERTAIN_CODE` per point — the
+        representation the network-level locators build their uniform
+        ``int64`` answers from.
+        """
         pts = as_points_array(points)
         cols, rows = self.grid.cell_indices_of(pts)
-        return [
-            self.classify_cell((col, row))
-            for col, row in zip(cols.tolist(), rows.tolist())
-        ]
+        out = np.empty(len(pts), dtype=np.int8)
+        lookup = self._columns.get
+        for position, (col, row) in enumerate(zip(cols.tolist(), rows.tolist())):
+            column = lookup(col)
+            if column is None:
+                out[position] = OUTSIDE_CODE
+                continue
+            min_row, max_row, cell_rows = column
+            if row in cell_rows:
+                out[position] = UNCERTAIN_CODE
+            elif min_row < row < max_row:
+                out[position] = INSIDE_CODE
+            else:
+                out[position] = OUTSIDE_CODE
+        return out
 
     # ------------------------------------------------------------------
     # Size / quality accounting

@@ -1,0 +1,223 @@
+"""The unified ``Locator`` protocol and the name-based locator registry.
+
+Every network-level point-location implementation in this package answers the
+same question — "which station (if any) hears this point?" — but the
+implementations historically grew ad-hoc surfaces.  This module pins down the
+one contract they all share and makes them discoverable by name, mirroring
+the engine's backend registry (:mod:`repro.engine.backend`):
+
+The ``Locator`` contract
+========================
+
+* ``locate(point) -> int`` — the index of the station heard at the point, or
+  :data:`repro.engine.batch.NO_RECEPTION` (``-1``) when nothing is heard;
+* ``locate_batch(points) -> numpy.ndarray`` — the same answer for an
+  ``(m, 2)`` batch, always as an ``int64`` array with ``-1`` as the
+  no-reception sentinel, in query order;
+* a ``network`` attribute and a class-level ``build(network, **options)``
+  factory, which is what the registry hands out.
+
+The registry
+============
+
+``register_locator(name, factory)`` / ``get_locator(name)`` /
+``available_locators()`` manage the name -> factory mapping behind a lock, so
+registration is safe from any thread.  ``use_locator(name)`` selects a
+default locator factory for the current thread / asyncio task (a
+:class:`contextvars.ContextVar`, usable as a context manager exactly like
+:func:`repro.engine.backend.use_backend`), which lets harnesses sweep
+locators without threading a parameter through every call.
+
+Composed names: ``"sharded:<inner>"`` resolves to a factory that builds a
+:class:`~repro.pointlocation.sharded.ShardedLocator` wrapping the named inner
+locator per shard, so e.g. ``get_locator("sharded:theorem3")`` works anywhere
+a plain name does.  The registered locator matrix lives in the package
+docstring (:mod:`repro.pointlocation`).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextvars import ContextVar
+from typing import Dict, Protocol, Union, runtime_checkable
+
+import numpy as np
+
+from ..exceptions import PointLocationError
+from ..geometry.point import Point
+
+__all__ = [
+    "Locator",
+    "LocatorFactory",
+    "register_locator",
+    "available_locators",
+    "get_locator",
+    "active_locator",
+    "use_locator",
+]
+
+
+@runtime_checkable
+class Locator(Protocol):
+    """The contract every network-level point locator implements.
+
+    ``locate`` answers one query with the heard station's index (``-1`` when
+    no station is heard); ``locate_batch`` answers an ``(m, 2)`` batch with an
+    ``int64`` array using the same sentinel.  Batch answers agree with the
+    scalar loop pointwise (away from measure-zero nearest-station ties, where
+    tie-breaks may differ between scalar and vectorised front-ends).
+    """
+
+    name: str
+
+    def locate(self, point: Point) -> int: ...
+
+    def locate_batch(self, points) -> np.ndarray: ...
+
+
+@runtime_checkable
+class LocatorFactory(Protocol):
+    """Anything with a ``build(network, **options) -> Locator`` entry point.
+
+    Locator classes themselves satisfy this via a ``build`` classmethod; the
+    registry also hands out bound factories for composed names such as
+    ``"sharded:voronoi"``.
+    """
+
+    def build(self, network, **options) -> Locator: ...
+
+
+_LOCATORS: Dict[str, LocatorFactory] = {}
+_registry_lock = threading.Lock()
+
+#: The active *selection* for harnesses that want a context-default locator:
+#: a name stays a name and is re-resolved on every :func:`active_locator`
+#: call (so re-registration under an active name takes effect immediately),
+#: mirroring the engine backend registry.
+_selection: ContextVar[Union[str, LocatorFactory]] = ContextVar(
+    "repro_pointlocation_locator", default="voronoi"
+)
+
+#: Separator of composed locator names (``sharded:<inner>``).
+_COMPOSE_SEPARATOR = ":"
+
+
+class _ComposedFactory:
+    """Factory for a composed name: binds the inner locator name as an option.
+
+    ``get_locator("sharded:voronoi")`` returns one of these; its ``build``
+    forwards to the outer factory with ``inner="voronoi"`` merged into the
+    options (explicitly passed options win).
+    """
+
+    def __init__(self, outer: LocatorFactory, inner_name: str):
+        self._outer = outer
+        self._inner_name = inner_name
+
+    def build(self, network, **options) -> Locator:
+        options.setdefault("inner", self._inner_name)
+        return self._outer.build(network, **options)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_ComposedFactory({self._outer!r}, inner={self._inner_name!r})"
+
+
+def register_locator(name: str, factory: LocatorFactory) -> None:
+    """Register ``factory`` under ``name`` (overwriting any previous one).
+
+    Safe to call from any thread.  Composed names cannot be registered
+    directly — the ``sharded:`` prefix is resolved dynamically so that every
+    registered inner locator is immediately sweepable through it.
+    """
+    if _COMPOSE_SEPARATOR in name:
+        raise PointLocationError(
+            f"locator names must not contain {_COMPOSE_SEPARATOR!r}; "
+            f"composed names like 'sharded:voronoi' are derived, not registered"
+        )
+    with _registry_lock:
+        _LOCATORS[name] = factory
+
+
+def available_locators() -> Dict[str, LocatorFactory]:
+    """Name -> factory mapping of everything registered (a snapshot copy).
+
+    Only base names are listed; every name that supports inner composition
+    (currently ``"sharded"``) additionally accepts the ``sharded:<inner>``
+    spelling through :func:`get_locator`.
+    """
+    with _registry_lock:
+        return dict(_LOCATORS)
+
+
+def get_locator(name: "str | LocatorFactory | None" = None) -> LocatorFactory:
+    """Resolve a locator factory: None -> the active one, a str -> by name.
+
+    Composed names (``"sharded:voronoi"``, ``"sharded:theorem3"``, even
+    ``"sharded:sharded:voronoi"``) resolve recursively: the prefix must be a
+    registered factory that accepts an ``inner=`` build option, and the
+    remainder must itself resolve.  Anything that is not ``None`` or a string
+    is returned as-is (an explicitly constructed factory).
+    """
+    if name is None:
+        return active_locator()
+    if isinstance(name, str):
+        base, separator, inner = name.partition(_COMPOSE_SEPARATOR)
+        # Lock-free read: dict lookups are atomic under the GIL; the lock
+        # only serialises writers (same policy as the engine registry).
+        factory = _LOCATORS.get(base)
+        if factory is None:
+            raise PointLocationError(
+                f"unknown locator {base!r}; available: {sorted(_LOCATORS)} "
+                f"(plus 'sharded:<inner>' compositions)"
+            )
+        if separator:
+            get_locator(inner)  # validate the inner name eagerly
+            return _ComposedFactory(factory, inner)
+        return factory
+    return name
+
+
+def active_locator() -> LocatorFactory:
+    """The locator factory harnesses use when none is named explicitly.
+
+    Resolved from the current context's selection, so each thread and async
+    task sees its own :func:`use_locator` choices (falling back to
+    ``"voronoi"`` — the exact ``O(n)``-per-query baseline — where none was
+    made).
+    """
+    selected = _selection.get()
+    if isinstance(selected, str):
+        return get_locator(selected)
+    return selected
+
+
+class _LocatorSelection:
+    """Result of :func:`use_locator`: effective immediately, optional context manager."""
+
+    def __init__(self, token, selected: "str | LocatorFactory"):
+        self._token = token
+        self._selected = selected
+
+    @property
+    def factory(self) -> LocatorFactory:
+        return get_locator(self._selected)
+
+    def __enter__(self) -> LocatorFactory:
+        return self.factory
+
+    def __exit__(self, *exc_info) -> None:
+        if self._token is not None:
+            _selection.reset(self._token)
+            self._token = None
+
+
+def use_locator(name: "str | LocatorFactory") -> _LocatorSelection:
+    """Make ``name`` the active locator selection in the current context.
+
+    Takes effect immediately for the current thread / async task; as a
+    context manager the previous selection is restored on exit, also when an
+    exception escapes the block, and nested selections unwind in order.
+    """
+    get_locator(name)  # resolve eagerly so an unknown name raises here
+    token = _selection.set(name)
+    return _LocatorSelection(token, name)

@@ -1,0 +1,244 @@
+"""Spatially sharded point location: per-shard locators, exact global answers.
+
+The Theorem 3 structure (and every other locator) serves one flat station
+set; at the scales the ROADMAP aims for the station set itself must be
+partitioned.  The :class:`ShardedLocator` splits the stations spatially
+(:mod:`repro.pointlocation.partition`), builds one *inner* locator per shard
+over a :meth:`~repro.model.network.WirelessNetwork.subnetwork` view, and
+answers query batches in three steps:
+
+1. **Route.**  Each shard advertises a query box: the bounding box of its
+   stations inflated by the shard's *reach* — the largest certified enclosing
+   radius (Theorem 4.1) of any of its zones.  A station can only be heard
+   inside its zone, and its zone fits inside its reach, so a query point can
+   only be answered by shards whose query box contains it (possibly several,
+   possibly none — then nothing is heard, certified).
+2. **Propose.**  Each routed batch slice is answered by the shard's inner
+   locator over the shard's *subnetwork*.  Dropping the other shards'
+   stations only removes interference, so a shard-local "nothing heard" is
+   already certified globally; a shard-local hit is merely a candidate.
+3. **Verify & merge.**  All candidates are re-checked in one batched
+   reception mask over the **full** station set through the active engine
+   backend — shards narrow the candidate search, never the interference sum.
+   Surviving candidates are merged back in input order (lowest station index
+   first, matching the brute-force rule), so the final answers are exactly
+   those of :class:`~repro.pointlocation.naive.BruteForceLocator`.
+
+The locator registers as ``"sharded"``; the composed spelling
+``"sharded:<inner>"`` (e.g. ``"sharded:theorem3"``) selects the inner
+locator by name through the registry.  Because both the inner proposals and
+the verification run through the engine's batch entry points, per-shard
+dispatch inherits whatever backend is active (numpy, numba, multiprocess).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..engine.batch import NO_RECEPTION, PointsLike, as_points_array, received_at
+from ..exceptions import PointLocationError
+from ..geometry.point import Point
+from ..model.network import WirelessNetwork
+from .bounds import explicit_radius_bounds
+from .registry import Locator, get_locator, register_locator
+
+__all__ = ["ShardedLocator", "ShardInfo"]
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard of a :class:`ShardedLocator` (exposed for tests/benchmarks).
+
+    Attributes:
+        indices: global station indices of the shard (``int64``).
+        query_box: ``(xmin, ymin, xmax, ymax)`` — the station bounding box
+            inflated by the shard's certified reach; only points inside it
+            can hear one of the shard's stations.
+        locator: the inner locator over the shard's subnetwork, or None for
+            single-station shards (whose lone station is proposed directly).
+    """
+
+    indices: np.ndarray
+    query_box: Tuple[float, float, float, float]
+    locator: Optional[Locator]
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+class ShardedLocator:
+    """Exact point location over spatially partitioned stations.
+
+    Args:
+        network: a uniform power network with ``alpha = 2`` and ``beta > 1``
+            (the regime in which Theorem 4.1 certifies the routing reach).
+        inner: registry name (or factory) of the per-shard locator —
+            ``"voronoi"`` (default), ``"brute-force"``, ``"theorem3"``, or
+            even ``"sharded"`` again.
+        shards: requested shard count (>= 1).
+        partitioner: ``"kd"`` (default), ``"uniform"``, or a
+            :class:`~repro.pointlocation.partition.SpatialPartitioner`.
+        inner_options: extra build options forwarded to every inner locator
+            (e.g. ``{"epsilon": 0.5}`` for ``inner="theorem3"``).
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        network: WirelessNetwork,
+        inner: str = "voronoi",
+        shards: int = 4,
+        partitioner: object = "kd",
+        inner_options: Optional[dict] = None,
+    ):
+        if not network.is_uniform_power():
+            raise PointLocationError(
+                "sharded point location requires a uniform power network "
+                "(Theorem 4.1 certifies the routing reach only there)"
+            )
+        if network.beta <= 1.0:
+            raise PointLocationError("sharded point location requires beta > 1")
+        if network.alpha != 2.0:
+            raise PointLocationError("sharded point location requires alpha = 2")
+        if shards < 1:
+            raise PointLocationError(f"shard count must be >= 1, got {shards}")
+
+        from .partition import get_partitioner
+
+        self.network = network
+        self.inner_name = inner if isinstance(inner, str) else getattr(inner, "name", "custom")
+        self.partitioner = get_partitioner(partitioner, shards)
+        inner_factory = get_locator(inner)
+        options = dict(inner_options or {})
+
+        coords = network.coords
+        reaches = self._station_reaches()
+        self._shards: List[ShardInfo] = []
+        for group in self.partitioner.partition(coords):
+            if len(group) == 0:
+                continue
+            group = np.asarray(group, dtype=np.int64)
+            points = coords[group]
+            reach = float(reaches[group].max())
+            query_box = (
+                float(points[:, 0].min() - reach),
+                float(points[:, 1].min() - reach),
+                float(points[:, 0].max() + reach),
+                float(points[:, 1].max() + reach),
+            )
+            if len(group) == 1:
+                # Too small for a subnetwork; the lone station is proposed
+                # directly and settled by the full-network verification.
+                inner_locator = None
+            else:
+                inner_locator = inner_factory.build(
+                    network.subnetwork(group), **options
+                )
+            self._shards.append(
+                ShardInfo(indices=group, query_box=query_box, locator=inner_locator)
+            )
+
+    @classmethod
+    def build(cls, network: WirelessNetwork, **options) -> "ShardedLocator":
+        """Registry factory: options forward to the constructor."""
+        return cls(network, **options)
+
+    def _station_reaches(self) -> np.ndarray:
+        """Certified per-station hearing radius (Theorem 4.1 upper bound).
+
+        A degenerate zone (another station shares the location) is the single
+        point ``{s_i}``: reach 0 keeps the station inside its shard's closed
+        query box, which is all the routing needs.
+        """
+        network = self.network
+        out = np.zeros(len(network), dtype=float)
+        for index in range(len(network)):
+            if network.location_is_shared(index):
+                continue
+            out[index] = explicit_radius_bounds(network, index).Delta_upper
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def locate(self, point: Point) -> int:
+        """Index of the station heard at ``point``, or ``NO_RECEPTION`` (-1)."""
+        return int(self.locate_batch(np.array([[point.x, point.y]]))[0])
+
+    def locate_batch(self, points: PointsLike) -> np.ndarray:
+        """Vectorised :meth:`locate`: one ``int64`` label per point.
+
+        Routes the batch to shards by query box, gathers per-shard proposals
+        from the inner locators, verifies every proposal against the full
+        station set in one batched reception mask, and merges in input order.
+        """
+        pts = as_points_array(points)
+        count = len(pts)
+        out = np.full(count, NO_RECEPTION, dtype=np.int64)
+        if count == 0:
+            return out
+
+        proposal_rows: List[np.ndarray] = []
+        proposal_stations: List[np.ndarray] = []
+        for shard in self._shards:
+            xmin, ymin, xmax, ymax = shard.query_box
+            routed = np.flatnonzero(
+                (pts[:, 0] >= xmin)
+                & (pts[:, 0] <= xmax)
+                & (pts[:, 1] >= ymin)
+                & (pts[:, 1] <= ymax)
+            )
+            if routed.size == 0:
+                continue
+            if shard.locator is None:
+                local = np.zeros(routed.size, dtype=np.int64)
+            else:
+                local = shard.locator.locate_batch(pts[routed])
+            proposed = local >= 0
+            if not proposed.any():
+                continue
+            proposal_rows.append(routed[proposed])
+            proposal_stations.append(shard.indices[local[proposed]])
+
+        if not proposal_rows:
+            return out
+        rows = np.concatenate(proposal_rows)
+        stations = np.concatenate(proposal_stations)
+
+        # One full-network verification for all shards' candidates: the
+        # interference sum always runs over every station, so sharding can
+        # narrow the search without ever changing an answer.
+        verified = received_at(self.network, stations, pts[rows])
+
+        merged = np.full(count, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(merged, rows[verified], stations[verified])
+        hit = merged != np.iinfo(np.int64).max
+        out[hit] = merged[hit]
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> List[ShardInfo]:
+        """The non-empty shards (indices, query boxes, inner locators)."""
+        return list(self._shards)
+
+    def shard_sizes(self) -> List[int]:
+        """Station count per (non-empty) shard."""
+        return [len(shard) for shard in self._shards]
+
+    def describe(self) -> str:
+        """One-line summary for benchmark and example output."""
+        sizes = self.shard_sizes()
+        return (
+            f"sharded[{self.partitioner.name}, inner={self.inner_name}] "
+            f"{len(sizes)} shards of {min(sizes)}..{max(sizes)} stations"
+        )
+
+
+register_locator("sharded", ShardedLocator)

@@ -2,6 +2,7 @@
 
 from .generators import (
     clustered_network,
+    clustered_outliers_network,
     colinear_network,
     grid_network,
     random_query_array,
@@ -11,26 +12,33 @@ from .generators import (
     uniform_random_network,
 )
 from .scenarios import (
+    DEFAULT_LOCATOR_SWEEP,
     SCENARIOS,
     Scenario,
+    locator_sweep_names,
     point_location_networks,
     scenario,
     scenario_names,
+    sharding_networks,
     theorem_verification_networks,
 )
 
 __all__ = [
+    "DEFAULT_LOCATOR_SWEEP",
     "SCENARIOS",
     "Scenario",
     "clustered_network",
+    "clustered_outliers_network",
     "colinear_network",
     "grid_network",
+    "locator_sweep_names",
     "point_location_networks",
     "random_query_array",
     "random_query_points",
     "ring_network",
     "scenario",
     "scenario_names",
+    "sharding_networks",
     "theorem_verification_networks",
     "two_station_network",
     "uniform_random_network",

@@ -33,6 +33,7 @@ from ..model.network import DEFAULT_BETA, WirelessNetwork
 __all__ = [
     "uniform_random_network",
     "clustered_network",
+    "clustered_outliers_network",
     "ring_network",
     "grid_network",
     "colinear_network",
@@ -111,6 +112,78 @@ def clustered_network(
             ):
                 points.append(candidate)
                 placed += 1
+    return WirelessNetwork.uniform(points, noise=noise, beta=beta)
+
+
+def clustered_outliers_network(
+    cluster_count: int,
+    stations_per_cluster: int,
+    outlier_count: int,
+    side: float = 40.0,
+    cluster_spread: float = 1.0,
+    minimum_separation: float = 0.25,
+    noise: float = 0.0,
+    beta: float = DEFAULT_BETA,
+    seed: int = 0,
+    max_attempts: int = 100_000,
+) -> WirelessNetwork:
+    """Gaussian clusters plus sparse uniformly scattered outlier stations.
+
+    The heavily skewed spatial distribution this produces — dense knots of
+    stations with a thin haze between them — is the adversarial input for
+    *spatial sharding*: uniform tiles end up wildly unbalanced (some empty,
+    some holding a whole cluster) while median bisection stays balanced, so
+    the sharded-locator tests and benchmarks sweep both on it.
+
+    Args:
+        cluster_count: number of Gaussian clusters.
+        stations_per_cluster: stations per cluster.
+        outlier_count: stations placed uniformly at random over the whole
+            ``[0, side]^2`` box, independent of the clusters.
+        cluster_spread: standard deviation of each cluster.
+        minimum_separation: rejection-sampling distance between any two
+            stations (keeps zones non-degenerate).
+    """
+    if cluster_count < 1 or stations_per_cluster < 1:
+        raise NetworkConfigurationError("need at least one cluster and one station")
+    if outlier_count < 0:
+        raise NetworkConfigurationError("outlier_count must be non-negative")
+    if cluster_count * stations_per_cluster + outlier_count < 2:
+        raise NetworkConfigurationError("a network needs at least two stations")
+    rng = random.Random(seed)
+    centres = [
+        Point(rng.uniform(0.0, side), rng.uniform(0.0, side))
+        for _ in range(cluster_count)
+    ]
+    points: List[Point] = []
+    attempts = 0
+
+    def place(sample) -> None:
+        nonlocal attempts
+        while True:
+            attempts += 1
+            if attempts > max_attempts:
+                raise NetworkConfigurationError(
+                    "could not place stations with the requested minimum separation"
+                )
+            candidate = sample()
+            if all(
+                candidate.distance_to(existing) >= minimum_separation
+                for existing in points
+            ):
+                points.append(candidate)
+                return
+
+    for centre in centres:
+        for _ in range(stations_per_cluster):
+            place(
+                lambda: Point(
+                    rng.gauss(centre.x, cluster_spread),
+                    rng.gauss(centre.y, cluster_spread),
+                )
+            )
+    for _ in range(outlier_count):
+        place(lambda: Point(rng.uniform(0.0, side), rng.uniform(0.0, side)))
     return WirelessNetwork.uniform(points, noise=noise, beta=beta)
 
 

@@ -16,6 +16,7 @@ from ..geometry.point import Point
 from ..model.network import WirelessNetwork
 from .generators import (
     clustered_network,
+    clustered_outliers_network,
     colinear_network,
     grid_network,
     ring_network,
@@ -25,10 +26,13 @@ from .generators import (
 __all__ = [
     "Scenario",
     "SCENARIOS",
+    "DEFAULT_LOCATOR_SWEEP",
+    "locator_sweep_names",
     "scenario",
     "scenario_names",
     "theorem_verification_networks",
     "point_location_networks",
+    "sharding_networks",
 ]
 
 
@@ -92,6 +96,22 @@ SCENARIOS: Dict[str, Scenario] = {
             build=lambda: colinear_network(6, spacing=2.0, beta=2.0),
         ),
         Scenario(
+            name="clustered-outliers",
+            description="4 Gaussian clusters of 6 stations plus 8 sparse outliers "
+            "in a 40x40 box, beta=3 (skewed spatial distribution for sharding)",
+            build=lambda: clustered_outliers_network(
+                4,
+                6,
+                outlier_count=8,
+                side=40.0,
+                cluster_spread=1.2,
+                minimum_separation=0.4,
+                noise=0.001,
+                beta=3.0,
+                seed=17,
+            ),
+        ),
+        Scenario(
             name="textbook-beta",
             description="4 stations with the paper's 'textbook' beta = 6",
             build=lambda: uniform_random_network(
@@ -122,3 +142,38 @@ def point_location_networks() -> List[Tuple[str, WirelessNetwork]]:
     """The scenarios used by the Theorem 3 point-location benchmarks."""
     names = ["small-random", "ring", "grid"]
     return [(name, SCENARIOS[name].network()) for name in names]
+
+
+def sharding_networks() -> List[Tuple[str, WirelessNetwork]]:
+    """The scenarios the sharded-locator tests and benchmarks sweep over.
+
+    Deliberately mixes a benign uniform deployment with the skewed
+    clustered-outliers one, so both partitioners face empty tiles and
+    unbalanced clusters.
+    """
+    names = ["medium-random", "clustered", "clustered-outliers"]
+    return [(name, SCENARIOS[name].network()) for name in names]
+
+
+#: The canonical by-name locator sweep every harness shares: the exact
+#: baselines, the Theorem 3 structure, and a sharded composition of each.
+#: Names resolve through :func:`repro.pointlocation.get_locator`, so the
+#: sweep automatically covers anything a caller registers under these names.
+DEFAULT_LOCATOR_SWEEP: Tuple[str, ...] = (
+    "brute-force",
+    "voronoi",
+    "theorem3",
+    "sharded:voronoi",
+    "sharded:theorem3",
+)
+
+
+def locator_sweep_names(validate: bool = True) -> List[str]:
+    """The default locator-name sweep, optionally validated against the registry."""
+    names = list(DEFAULT_LOCATOR_SWEEP)
+    if validate:
+        from ..pointlocation import get_locator
+
+        for name in names:
+            get_locator(name)
+    return names

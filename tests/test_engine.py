@@ -444,6 +444,47 @@ class TestBatchMatchesScalar:
             scalar = [network.is_received(index, Point(x, y)) for x, y in points]
             np.testing.assert_array_equal(mask, scalar)
 
+    def test_received_mask_row_kernel_matches_matrix_row(self):
+        network = random_network(seed=5)
+        # Include exactly-coincident and overflow-close columns: the row
+        # kernel must reproduce every edge case of the full matrix.
+        points = np.vstack(
+            [
+                network.coords,
+                network.coords[:3] + 1e-200,
+                queries_for(network, count=120),
+            ]
+        )
+        full = kernels.received_mask_matrix(
+            network.coords, network.powers_array(), points,
+            network.noise, network.beta, network.alpha,
+        )
+        for index in range(len(network)):
+            row = kernels.received_mask_row(
+                network.coords, network.powers_array(), points, index,
+                network.noise, network.beta, network.alpha,
+            )
+            np.testing.assert_array_equal(row, full[index])
+        # The per-point-index gather variant must match the matrix gather.
+        rng = np.random.default_rng(0)
+        indices = rng.integers(0, len(network), size=len(points))
+        gathered = kernels.received_mask_at(
+            network.coords, network.powers_array(), points, indices,
+            network.noise, network.beta, network.alpha,
+        )
+        np.testing.assert_array_equal(
+            gathered, full[indices, np.arange(len(points))]
+        )
+
+    def test_received_mask_works_without_row_fast_path(self):
+        # The reference backend has no received_mask_row; received_mask must
+        # fall back to the full matrix and still agree.
+        network = random_network(seed=4)
+        points = queries_for(network, count=40)
+        with use_backend("reference"):
+            fallback = received_mask(network, 0, points)
+        np.testing.assert_array_equal(fallback, received_mask(network, 0, points))
+
     def test_heard_station_batch_matches_diagram(self):
         network = random_network(seed=6)
         diagram = SINRDiagram(network)
@@ -487,26 +528,35 @@ class TestLocatorBatches:
         locator = BruteForceLocator(network)
         points = queries_for(network, count=200)
         labels = locator.locate_batch(points)
+        assert labels.dtype == np.int64
         for (x, y), label in zip(points, labels):
-            scalar = locator.locate(Point(x, y))
-            assert (scalar if scalar is not None else -1) == label
+            assert locator.locate(Point(x, y)) == label
 
     def test_voronoi_candidate_locate_batch(self):
         network = random_network(seed=10)
         locator = VoronoiCandidateLocator(network)
         points = queries_for(network, count=200)
         labels = locator.locate_batch(points)
+        assert labels.dtype == np.int64
         for (x, y), label in zip(points, labels):
-            scalar = locator.locate(Point(x, y))
-            assert (scalar if scalar is not None else -1) == label
+            assert locator.locate(Point(x, y)) == label
 
     def test_structure_locate_batch(self):
         network = random_network(seed=11)
         structure = PointLocationStructure(network, epsilon=0.4)
         points = queries_for(network, count=200)
-        answers = structure.locate_batch(points)
+        labels = structure.locate_batch(points)
+        assert labels.dtype == np.int64
+        for (x, y), label in zip(points, labels):
+            assert structure.locate(Point(x, y)) == label
+
+    def test_structure_locate_answers_match_answer(self):
+        network = random_network(seed=11)
+        structure = PointLocationStructure(network, epsilon=0.4)
+        points = queries_for(network, count=100)
+        answers = structure.locate_answers(points)
         for (x, y), answer in zip(points, answers):
-            scalar = structure.locate(Point(x, y))
+            scalar = structure.locate_answer(Point(x, y))
             assert scalar.station == answer.station
             assert scalar.label == answer.label
 
@@ -537,14 +587,15 @@ class TestLocatorBatches:
         voronoi = VoronoiCandidateLocator(network)
         brute = BruteForceLocator(network)
 
-        assert structure.locate_batch([]) == []
+        assert structure.locate_batch([]).shape == (0,)
+        assert structure.locate_answers([]) == []
         assert voronoi.locate_batch([]).shape == (0,)
         assert brute.locate_batch(np.empty((0, 2))).shape == (0,)
         assert sinr_batch(network, []).shape == (len(network), 0)
 
         single = structure.locate_batch(Point(1.0, 1.0))
-        assert len(single) == 1
-        assert single[0].label == structure.locate(Point(1.0, 1.0)).label
+        assert single.shape == (1,)
+        assert single[0] == structure.locate(Point(1.0, 1.0))
         assert voronoi.locate_batch(Point(1.0, 1.0)).shape == (1,)
 
 

@@ -1,0 +1,180 @@
+"""The unified Locator protocol: registry behaviour and the shared contract.
+
+Every registered locator (and the sharded compositions) must satisfy one
+contract: ``locate_batch`` returns an ``int64`` array with ``-1`` as the
+no-reception sentinel, agreeing pointwise with the scalar ``locate``; on the
+paper's ``beta > 1`` regime all of them agree with brute force exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import Point
+from repro.exceptions import PointLocationError
+from repro.pointlocation import (
+    BruteForceLocator,
+    Locator,
+    active_locator,
+    available_locators,
+    get_locator,
+    register_locator,
+    use_locator,
+)
+from repro.workloads import random_query_array, uniform_random_network
+
+#: Build options that keep the sweep fast; every name resolves via the
+#: registry exactly as harness code would.
+CONTRACT_SWEEP = [
+    ("brute-force", {}),
+    ("voronoi", {}),
+    ("theorem3", {"epsilon": 0.5}),
+    ("sharded:voronoi", {"shards": 3}),
+    ("sharded:brute-force", {"shards": 2, "partitioner": "uniform"}),
+    (
+        "sharded:theorem3",
+        {"shards": 2, "inner_options": {"epsilon": 0.5, "cover_method": "ray_sweep"}},
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def network():
+    return uniform_random_network(
+        10, side=16.0, minimum_separation=2.0, noise=0.005, beta=3.0, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def queries(network):
+    return random_query_array(800, Point(-3.0, -3.0), Point(19.0, 19.0), seed=21)
+
+
+@pytest.fixture(scope="module")
+def truth(network, queries):
+    return BruteForceLocator(network).locate_batch(queries)
+
+
+class TestRegistry:
+    def test_base_locators_are_registered(self):
+        names = available_locators()
+        for expected in ("brute-force", "voronoi", "theorem3", "sharded"):
+            assert expected in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(PointLocationError):
+            get_locator("nope")
+        with pytest.raises(PointLocationError):
+            get_locator("sharded:nope")  # inner names are validated eagerly
+
+    def test_composed_names_cannot_be_registered(self):
+        with pytest.raises(PointLocationError):
+            register_locator("bad:name", BruteForceLocator)
+
+    def test_registering_and_overwriting(self, network):
+        class Custom(BruteForceLocator):
+            name = "custom"
+
+        try:
+            register_locator("custom", Custom)
+            assert get_locator("custom") is Custom
+            built = get_locator("custom").build(network)
+            assert isinstance(built, Locator)
+            # Overwriting is allowed and visible immediately, also through
+            # an active by-name selection.
+            with use_locator("custom"):
+                register_locator("custom", BruteForceLocator)
+                assert active_locator() is BruteForceLocator
+        finally:
+            from repro.pointlocation import registry
+
+            with registry._registry_lock:
+                registry._LOCATORS.pop("custom", None)
+
+    def test_use_locator_scoping_and_default(self):
+        assert active_locator() is get_locator("voronoi")
+        with use_locator("brute-force") as factory:
+            assert factory is get_locator("brute-force")
+            assert active_locator() is get_locator("brute-force")
+        assert active_locator() is get_locator("voronoi")
+
+    def test_use_locator_is_thread_isolated(self):
+        seen = {}
+
+        def worker():
+            seen["worker"] = active_locator()
+
+        with use_locator("theorem3"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert active_locator() is get_locator("theorem3")
+        assert seen["worker"] is get_locator("voronoi")
+
+    def test_factory_objects_pass_through(self):
+        assert get_locator(BruteForceLocator) is BruteForceLocator
+
+
+class TestLocatorContract:
+    """The satellite contract: int64 dtype, -1 sentinel, scalar agreement."""
+
+    @pytest.mark.parametrize("name,options", CONTRACT_SWEEP)
+    def test_uniform_int64_contract(self, network, queries, truth, name, options):
+        locator = get_locator(name).build(network, **options)
+        labels = locator.locate_batch(queries)
+        assert isinstance(labels, np.ndarray)
+        assert labels.dtype == np.int64
+        assert labels.shape == (len(queries),)
+        # The sentinel is -1 and station labels are in range.
+        assert labels.min() >= -1
+        assert labels.max() < len(network)
+        assert (labels == -1).any()  # the query box extends past every zone
+        # Exactness on the beta > 1 regime: identical to brute force.
+        np.testing.assert_array_equal(labels, truth)
+
+    @pytest.mark.parametrize("name,options", CONTRACT_SWEEP)
+    def test_scalar_locate_agrees_with_batch(self, network, queries, name, options):
+        locator = get_locator(name).build(network, **options)
+        sample = queries[:60]
+        labels = locator.locate_batch(sample)
+        for (x, y), label in zip(sample, labels):
+            scalar = locator.locate(Point(x, y))
+            assert isinstance(scalar, (int, np.integer))
+            assert scalar == label
+
+    @pytest.mark.parametrize("name,options", CONTRACT_SWEEP)
+    def test_empty_and_single_batches(self, network, name, options):
+        locator = get_locator(name).build(network, **options)
+        empty = locator.locate_batch([])
+        assert empty.dtype == np.int64
+        assert empty.shape == (0,)
+        single = locator.locate_batch(Point(0.5, 0.5))
+        assert single.shape == (1,)
+
+    @pytest.mark.parametrize("name,options", CONTRACT_SWEEP)
+    def test_protocol_conformance(self, network, name, options):
+        locator = get_locator(name).build(network, **options)
+        assert isinstance(locator, Locator)
+        assert locator.network is network or locator.network == network
+        assert isinstance(locator.name, str)
+
+    def test_ray_sweep_structure_is_exact_at_large_coordinate_scale(self):
+        """Regression: boundary-probe tolerances must not degrade with the
+        absolute coordinate scale (the bisection tolerance is relative)."""
+        from repro.geometry.transform import SimilarityTransform
+
+        base = uniform_random_network(
+            8, side=12.0, minimum_separation=2.0, noise=0.01, beta=3.0, seed=6
+        )
+        scaled = base.transformed(SimilarityTransform.scaling(1000.0))
+        queries = random_query_array(
+            600, Point(-2000.0, -2000.0), Point(14000.0, 14000.0), seed=2
+        )
+        truth = get_locator("brute-force").build(scaled).locate_batch(queries)
+        structure = get_locator("theorem3").build(
+            scaled, epsilon=0.5, cover_method="ray_sweep"
+        )
+        np.testing.assert_array_equal(structure.locate_batch(queries), truth)

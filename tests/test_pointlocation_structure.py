@@ -203,16 +203,18 @@ class TestPointLocationStructure:
         uncertain = 0
         for _ in range(1500):
             point = Point(rng.uniform(-6, 9), rng.uniform(-6, 9))
-            answer = built_structure.locate(point)
+            answer = built_structure.locate_answer(point)
             truth = exact.locate(point)
             if answer.label is ZoneLabel.INSIDE:
                 assert answer.is_certified_reception
                 assert truth == answer.station
             elif answer.label is ZoneLabel.OUTSIDE:
                 assert answer.is_certified_no_reception
-                assert truth is None
+                assert truth == -1
             else:
                 uncertain += 1
+            # The Locator-protocol surface resolves the band exactly.
+            assert built_structure.locate(point) == truth
         # The uncertainty band is thin: only a small fraction of random
         # queries may fall into it.
         assert uncertain < 0.1 * 1500
@@ -240,7 +242,11 @@ class TestPointLocationStructure:
         assert structure.zone_index(1) is None
         assert structure.zone_index(2) is not None
         # Queries near the shared location resolve to OUTSIDE (nothing heard).
-        assert structure.locate(Point(0.1, 0.1)).label is ZoneLabel.OUTSIDE
+        assert structure.locate_answer(Point(0.1, 0.1)).label is ZoneLabel.OUTSIDE
+        assert structure.locate(Point(0.1, 0.1)) == -1
+        # Exactly at the shared location the first co-located station is
+        # heard; the Locator surface agrees with brute force there too.
+        assert structure.locate_batch([Point(0.0, 0.0)])[0] == 0
 
     def test_sampling_segment_test_variant(self, small_network):
         structure = PointLocationStructure(
@@ -250,11 +256,11 @@ class TestPointLocationStructure:
         rng = random.Random(2)
         for _ in range(400):
             point = Point(rng.uniform(-5, 8), rng.uniform(-5, 8))
-            answer = structure.locate(point)
+            answer = structure.locate_answer(point)
             if answer.label is ZoneLabel.INSIDE:
                 assert exact.locate(point) == answer.station
             elif answer.label is ZoneLabel.OUTSIDE:
-                assert exact.locate(point) is None
+                assert exact.locate(point) == -1
 
     def test_unknown_variants_rejected(self, small_network):
         with pytest.raises(PointLocationError):

@@ -245,7 +245,7 @@ class TestPointLocationProperties:
         structure = PointLocationStructure(network, epsilon=0.5)
         for raw in raw_queries:
             point = Point(*raw)
-            answer = structure.locate(point)
+            answer = structure.locate_answer(point)
             if answer.label is ZoneLabel.INSIDE:
                 assert network.is_received(answer.station, point)
             elif answer.label is ZoneLabel.OUTSIDE:

@@ -11,13 +11,16 @@ from repro.exceptions import NetworkConfigurationError
 from repro.workloads import (
     SCENARIOS,
     clustered_network,
+    clustered_outliers_network,
     colinear_network,
     grid_network,
+    locator_sweep_names,
     point_location_networks,
     random_query_points,
     ring_network,
     scenario,
     scenario_names,
+    sharding_networks,
     theorem_verification_networks,
     two_station_network,
     uniform_random_network,
@@ -52,6 +55,26 @@ class TestGenerators:
     def test_clustered_network(self):
         network = clustered_network(3, 4, seed=7)
         assert len(network) == 12
+
+    def test_clustered_outliers_network(self):
+        network = clustered_outliers_network(
+            3, 5, outlier_count=4, side=30.0, cluster_spread=1.0,
+            minimum_separation=0.3, seed=9,
+        )
+        assert len(network) == 3 * 5 + 4
+        assert network.is_uniform_power()
+        for a, b in itertools.combinations(network.locations(), 2):
+            assert a.distance_to(b) >= 0.3
+        # Deterministic per seed, like every other generator.
+        again = clustered_outliers_network(
+            3, 5, outlier_count=4, side=30.0, cluster_spread=1.0,
+            minimum_separation=0.3, seed=9,
+        )
+        assert network.locations() == again.locations()
+        with pytest.raises(NetworkConfigurationError):
+            clustered_outliers_network(1, 1, outlier_count=-1)
+        with pytest.raises(NetworkConfigurationError):
+            clustered_outliers_network(1, 1, outlier_count=0)
 
     def test_ring_and_grid_networks(self):
         ring = ring_network(6, radius=5.0)
@@ -119,3 +142,19 @@ class TestScenarioCatalogue:
             assert network.beta > 1.0
         location_networks = point_location_networks()
         assert all(network.beta > 1.0 for _, network in location_networks)
+
+    def test_sharding_networks_are_in_the_sharded_regime(self):
+        networks = sharding_networks()
+        assert any(name == "clustered-outliers" for name, _ in networks)
+        for name, network in networks:
+            assert name in SCENARIOS
+            # The regime the sharded locator requires (Theorem 4.1 routing).
+            assert network.is_uniform_power()
+            assert network.beta > 1.0
+            assert network.alpha == 2.0
+
+    def test_locator_sweep_names_resolve_in_the_registry(self):
+        names = locator_sweep_names()
+        assert "theorem3" in names
+        assert any(name.startswith("sharded:") for name in names)
+        # validate=True already resolved each name through get_locator.
