@@ -1,134 +1,159 @@
 #!/usr/bin/env python3
-"""A point-location "service": Theorem 3 in action, at sharded scale.
+"""The async point-location service: micro-batching live query traffic.
 
-A base-station planner wants to answer, for millions of candidate handset
-positions, "which access point (if any) will this position hear?"  The naive
-answer costs O(n) per query; the paper's data structure answers in O(log n)
-after a one-off preprocessing pass; and once the deployment outgrows a single
-flat station set, the sharded locator partitions it spatially while keeping
-every answer bit-identical to brute force.
+A deployed SINR model answers "which access point (if any) does this handset
+position hear?" for streams of concurrent clients.  Answering each query
+alone wastes the engine's vectorisation; the :mod:`repro.service` layer
+accumulates concurrent queries for a small latency budget and answers each
+group as one ``locate_batch`` call — bit-identically to asking the locator
+directly.
 
-This example builds every registered locator *by name* through the locator
-registry, shows the epsilon sweep of the Theorem 3 structure, and compares
-batched throughput across the whole locator matrix (including the
-``sharded:<inner>`` compositions) and across the engine backends.
+This demo builds a 50-station deployment, then:
+
+1. serves Poisson, burst and closed-loop traffic through one
+   :class:`QueryService` and prints what the batcher did to each shape;
+2. sweeps the latency budget to show the batch-size / latency trade-off;
+3. compares per-query asyncio serving (no batching) with the micro-batched
+   service and the direct engine call;
+4. routes two locators side by side through a :class:`LocatorRouter`.
 
 Run with:  python examples/point_location_service.py
 """
 
 from __future__ import annotations
 
+import asyncio
 import time
 
+import numpy as np
+
 from repro import Point
-from repro.engine import locate_batch
-from repro.pointlocation import ZoneLabel, get_locator
+from repro.pointlocation import build_locator
+from repro.service import LocatorRouter, QueryService, serve_points
 from repro.workloads import (
-    locator_sweep_names,
     random_query_array,
+    run_bursts,
+    run_closed_loop,
+    run_poisson,
     uniform_random_network,
 )
 
+STATIONS = 50
+QUERIES = 4000
+
+
+def build_workload():
+    side = 4.0 * STATIONS ** 0.5
+    network = uniform_random_network(
+        STATIONS, side=side, minimum_separation=1.5, noise=0.002, beta=3.0,
+        seed=23,
+    )
+    queries = random_query_array(
+        QUERIES, Point(-2.0, -2.0), Point(side + 2.0, side + 2.0), seed=17
+    )
+    return network, queries
+
+
+async def traffic_shapes(network, queries, truth) -> None:
+    print("\n-- one service, three traffic shapes "
+          "(every answer checked against the direct batch) --")
+    shapes = [
+        ("poisson 30k q/s", lambda s: run_poisson(s, queries, rate=30_000.0, seed=7)),
+        ("bursts of 256", lambda s: run_bursts(s, queries, burst_size=256, gap=0.004)),
+        ("closed loop x64", lambda s: run_closed_loop(s, queries, clients=64)),
+    ]
+    for label, drive in shapes:
+        async with QueryService(
+            network, "voronoi", latency_budget=0.002, max_batch_size=1024,
+            max_pending=QUERIES,
+        ) as service:
+            answers = await drive(service)
+            assert np.array_equal(answers, truth)
+            print(f"{label:>18}: {service.stats_snapshot().describe()}")
+
+
+async def budget_sweep(network, queries, truth) -> None:
+    print("\n-- latency budget vs batch shape (poisson 30k q/s) --")
+    print(f"{'budget ms':>10} {'batches':>8} {'mean batch':>11} "
+          f"{'latency p99 ms':>15}")
+    for budget in (0.0005, 0.002, 0.005):
+        async with QueryService(
+            network, "voronoi", latency_budget=budget, max_batch_size=4096,
+            max_pending=QUERIES,
+        ) as service:
+            answers = await run_poisson(service, queries, rate=30_000.0, seed=9)
+            assert np.array_equal(answers, truth)
+            stats = service.stats_snapshot()
+            print(f"{budget * 1e3:>10.1f} {stats.batches:>8d} "
+                  f"{stats.mean_batch_size:>11.1f} "
+                  f"{stats.latency_p99 * 1e3:>15.2f}")
+
+
+def serving_comparison(network, queries, truth) -> None:
+    print("\n-- per-query asyncio vs micro-batched vs direct --")
+    locator = build_locator(network, "voronoi")
+
+    start = time.perf_counter()
+    direct = locator.locate_batch(queries)
+    direct_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    per_query = serve_points(
+        network, queries, locator, latency_budget=0.0, max_batch_size=1,
+        max_pending=QUERIES,
+    )
+    per_query_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched, stats = serve_points(
+        network, queries, locator, latency_budget=0.002, max_batch_size=1024,
+        max_pending=QUERIES, return_stats=True,
+    )
+    batched_seconds = time.perf_counter() - start
+
+    assert np.array_equal(direct, truth)
+    assert np.array_equal(per_query, truth)
+    assert np.array_equal(batched, truth)
+    for label, seconds in (
+        ("direct locate_batch", direct_seconds),
+        ("per-query service", per_query_seconds),
+        ("micro-batched service", batched_seconds),
+    ):
+        print(f"{label:>24}: {QUERIES / seconds:>10,.0f} q/s "
+              f"({seconds / QUERIES * 1e6:.1f} us/query)")
+    print(f"micro-batching amortised {QUERIES} queries into {stats.batches} "
+          f"engine calls ({per_query_seconds / batched_seconds:.1f}x over "
+          f"per-query serving)")
+
+
+async def router_demo(network, queries, truth) -> None:
+    print("\n-- LocatorRouter: two locators, one front --")
+    async with LocatorRouter(
+        network,
+        {"voronoi": {}, "sharded:voronoi": {"shards": 8}},
+        latency_budget=0.002,
+        max_pending=QUERIES,
+    ) as router:
+        for name in router.locator_names:
+            answers = await router.locate_many(name, queries[:1000])
+            assert np.array_equal(answers, truth[:1000])
+            print(f"{name:>18}: {router.stats_snapshots()[name].describe()}")
+
 
 def main() -> None:
-    network = uniform_random_network(
-        8, side=16.0, minimum_separation=2.5, noise=0.005, beta=3.0, seed=4
-    )
+    network, queries = build_workload()
     print(network.describe())
+    truth = build_locator(network, "voronoi").locate_batch(queries)
 
-    query_array = random_query_array(
-        4000, Point(-4.0, -4.0), Point(20.0, 20.0), seed=99
-    )
-    queries = [Point(x, y) for x, y in query_array.tolist()]
-
-    # ------------------------------------------------------------------
-    # The approximate structure, for a sweep of epsilon values.
-    # ------------------------------------------------------------------
-    exact_labels = get_locator("voronoi").build(network).locate_batch(query_array)
-    print(f"\n{'epsilon':>8} {'build s':>9} {'cells':>8} {'query us':>9} "
-          f"{'uncertain %':>12} {'wrong':>6}")
-    for epsilon in (0.5, 0.3, 0.15):
-        start = time.perf_counter()
-        structure = get_locator("theorem3").build(network, epsilon=epsilon)
-        build_seconds = time.perf_counter() - start
-
-        start = time.perf_counter()
-        answers = structure.locate_answers(query_array)
-        query_seconds = time.perf_counter() - start
-
-        uncertain = sum(1 for a in answers if a.label is ZoneLabel.UNCERTAIN)
-        wrong = 0
-        for answer, exact in zip(answers, exact_labels.tolist()):
-            if answer.label is ZoneLabel.INSIDE and exact != answer.station:
-                wrong += 1
-            if answer.label is ZoneLabel.OUTSIDE and exact >= 0:
-                wrong += 1
-        print(
-            f"{epsilon:>8.2f} {build_seconds:>9.2f} {structure.size_estimate():>8d} "
-            f"{query_seconds / len(queries) * 1e6:>9.2f} "
-            f"{uncertain / len(queries) * 100.0:>11.2f}% {wrong:>6d}"
-        )
-
-    # ------------------------------------------------------------------
-    # The locator matrix, swept by registry name: scalar vs batched
-    # throughput, and agreement with the exact baseline.
-    # ------------------------------------------------------------------
-    print(f"\nlocator sweep over {len(queries)} queries "
-          f"(every locator built via get_locator(name)):")
-    print(f"{'locator':>20} {'build s':>8} {'scalar q/s':>11} {'batch q/s':>11} "
-          f"{'speedup':>8} {'mismatches':>11}")
-    build_options = {
-        "theorem3": {"epsilon": 0.3},
-        "sharded:voronoi": {"shards": 4},
-        "sharded:theorem3": {"shards": 4, "inner_options": {"epsilon": 0.3}},
-    }
-    for name in locator_sweep_names():
-        start = time.perf_counter()
-        locator = get_locator(name).build(network, **build_options.get(name, {}))
-        build_seconds = time.perf_counter() - start
-
-        scalar_sample = queries if name != "brute-force" else queries[:500]
-        start = time.perf_counter()
-        for query in scalar_sample:
-            locator.locate(query)
-        scalar_seconds = (time.perf_counter() - start) / len(scalar_sample)
-
-        start = time.perf_counter()
-        batch_answers = locate_batch(locator, query_array)
-        batch_seconds = (time.perf_counter() - start) / len(queries)
-
-        mismatches = int((batch_answers != exact_labels).sum())
-        print(
-            f"{name:>20} {build_seconds:>8.2f} {1.0 / scalar_seconds:>11.0f} "
-            f"{1.0 / batch_seconds:>11.0f} {scalar_seconds / batch_seconds:>7.1f}x "
-            f"{mismatches:>11d}"
-        )
-
-    # ------------------------------------------------------------------
-    # Engine backends: the same bulk query through each registered backend
-    # (numpy, multiprocess, numba when installed, and the pure-Python
-    # reference ground truth, timed on a subsample because it is ~100x
-    # slower by design).
-    # ------------------------------------------------------------------
-    from repro.engine import available_backends, heard_station_batch
-
-    print(f"\nheard-station throughput per engine backend "
-          f"({len(query_array)} queries):")
-    for name in sorted(available_backends()):
-        sample = query_array[:250] if name == "reference" else query_array
-        # Untimed warm-up: numba pays JIT compilation on its first call and
-        # multiprocess pays worker-pool start-up; steady state is the story.
-        heard_station_batch(network, sample, backend=name)
-        start = time.perf_counter()
-        heard_station_batch(network, sample, backend=name)
-        seconds_per_query = (time.perf_counter() - start) / len(sample)
-        print(f"{name:>24} {1.0 / seconds_per_query:>12.0f} q/s")
+    asyncio.run(traffic_shapes(network, queries, truth))
+    asyncio.run(budget_sweep(network, queries, truth))
+    serving_comparison(network, queries, truth)
+    asyncio.run(router_demo(network, queries, truth))
 
     print(
-        "\nevery locator in the sweep answers the uniform int64 contract "
-        "(station index, -1 for silence); the sharded compositions stay "
-        "bit-identical to brute force because interference is always summed "
-        "over the full station set."
+        "\nevery served answer above was bit-identical to the direct "
+        "locate_batch call: micro-batching regroups queries across "
+        "concurrent clients, it never changes their answers."
     )
 
 

@@ -11,6 +11,8 @@ lives in the subpackages:
 * :mod:`repro.model` — stations, networks, reception zones, SINR diagrams,
 * :mod:`repro.engine` — the batched query engine (vectorised SINR kernels,
   pluggable backends, bulk point-location),
+* :mod:`repro.service` — the asyncio micro-batching query service (accumulate
+  concurrent ``locate`` awaitables, answer them as one engine call),
 * :mod:`repro.graphs` — graph-based baselines (UDG, Quasi-UDG, ...),
 * :mod:`repro.pointlocation` — the point-location structures behind the
   unified ``Locator`` protocol and registry, including spatial sharding,

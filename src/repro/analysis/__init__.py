@@ -15,6 +15,7 @@ from .experiments import (
     run_figure3_4,
     run_figure5,
     run_figure6,
+    run_query_service,
     run_sharded_location,
     run_theorem1,
     run_theorem2,
@@ -52,6 +53,7 @@ __all__ = [
     "run_figure3_4",
     "run_figure5",
     "run_figure6",
+    "run_query_service",
     "run_sharded_location",
     "run_theorem1",
     "run_theorem2",

@@ -40,3 +40,19 @@ class PointLocationError(ReproError):
 
 class DiagramError(ReproError):
     """Raised when a raster or contour diagram cannot be constructed."""
+
+
+class ServiceError(ReproError):
+    """Raised for invalid query-service configuration or lifecycle misuse.
+
+    Examples: a non-positive latency budget or batch size, starting a
+    service twice, or routing to a locator name the router does not front.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when a query is submitted to (or aborted by) a closed service.
+
+    Submitters blocked in ``submit`` when the service shuts down without
+    draining receive this exception through their pending future.
+    """

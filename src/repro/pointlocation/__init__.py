@@ -65,6 +65,7 @@ from .registry import (
     LocatorFactory,
     active_locator,
     available_locators,
+    build_locator,
     get_locator,
     register_locator,
     use_locator,
@@ -101,6 +102,7 @@ __all__ = [
     "ZoneLabel",
     "active_locator",
     "available_locators",
+    "build_locator",
     "explicit_radius_bounds",
     "get_locator",
     "get_partitioner",

@@ -52,6 +52,7 @@ __all__ = [
     "register_locator",
     "available_locators",
     "get_locator",
+    "build_locator",
     "active_locator",
     "use_locator",
 ]
@@ -175,6 +176,18 @@ def get_locator(name: "str | LocatorFactory | None" = None) -> LocatorFactory:
             return _ComposedFactory(factory, inner)
         return factory
     return name
+
+
+def build_locator(network, name: "str | LocatorFactory | None" = None, **options) -> Locator:
+    """Resolve and build in one call: the service-layer lookup hook.
+
+    ``build_locator(network, "sharded:voronoi", shards=8)`` is exactly
+    ``get_locator("sharded:voronoi").build(network, shards=8)``; ``None``
+    builds the context's active selection (:func:`use_locator`).  The async
+    query service (:mod:`repro.service`) and harnesses that take a locator
+    spec as data go through this instead of pairing the two calls.
+    """
+    return get_locator(name).build(network, **options)
 
 
 def active_locator() -> LocatorFactory:

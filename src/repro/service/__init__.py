@@ -1,0 +1,85 @@
+"""repro.service — the asyncio micro-batching query service.
+
+Scalar point-location queries arriving one by one (the "millions of users"
+traffic shape) would each pay a full Python-call round trip into the engine.
+This package amortises them: an asyncio front accumulates concurrent
+``locate`` awaitables for a small latency budget (default 2 ms) or until a
+batch-size cap, answers the whole group as **one** vectorised
+``locate_batch`` call through the active engine backend, and resolves each
+submitter's future with its own answer.  Answers are bit-identical to
+calling ``locate_batch`` directly on the same points — batching regroups
+queries, never changes them — and the property tests in
+``tests/test_service.py`` enforce exactly-once delivery under concurrent
+submitters, cancellation, and shutdown.
+
+The pieces
+==========
+
+:class:`MicroBatcher`
+    The batching core: accumulation window, backpressure
+    (``max_pending``), cancellation-safe future resolution, clean
+    drain/abort shutdown.
+:class:`QueryService`
+    One locator (any :func:`repro.pointlocation.get_locator` name,
+    including ``"sharded:<inner>"`` compositions, or a pre-built object)
+    behind a batcher, with per-service :class:`ServiceStats` (batches,
+    mean batch size, wait and latency p50/p99).
+:class:`LocatorRouter`
+    One service per locator name behind a single front.
+:func:`serve_points`
+    Sync facade for scripts: serve an ``(m, 2)`` array through a temporary
+    service and return the ``int64`` answers.
+
+Backend / service matrix
+========================
+
+The engine backend active when the service **starts** is captured (a
+:mod:`contextvars` context copy) and used for every dispatched batch:
+
+================  ===========================================================
+``numpy``         Supported, the default.  Fastest for the service's typical
+                  micro-batch sizes (hundreds to low thousands of points).
+``numba``         Supported when installed; warm the JIT (one throwaway
+                  batch) before starting, or the first micro-batch pays
+                  compilation inside its latency window.
+``multiprocess``  Supported **only** with ``dispatch_in_thread=True`` (the
+                  default).  Its worker pool is process-global state and its
+                  ``future.result()`` calls block; on a dispatch thread that
+                  blocking is harmless, but inline on the event loop
+                  (``dispatch_in_thread=False``) it would stall every timer
+                  and submitter between batches — don't combine the two.
+                  Note the default instance falls through to numpy below
+                  2048 points, which typical micro-batches are.
+``reference``     Works, but ~100x slower; only sensible in tests.
+================  ===========================================================
+
+Quick use::
+
+    from repro.service import QueryService
+
+    async with QueryService(network, "sharded:voronoi",
+                            build_options={"shards": 8},
+                            latency_budget=0.002) as service:
+        station = await service.locate((3.0, 4.0))   # -1 when silent
+"""
+
+from .batcher import (
+    DEFAULT_LATENCY_BUDGET,
+    DEFAULT_MAX_BATCH_SIZE,
+    DEFAULT_MAX_PENDING,
+    MicroBatcher,
+)
+from .service import LocatorRouter, QueryService, serve_points
+from .stats import ServiceStats, StatsSnapshot
+
+__all__ = [
+    "DEFAULT_LATENCY_BUDGET",
+    "DEFAULT_MAX_BATCH_SIZE",
+    "DEFAULT_MAX_PENDING",
+    "LocatorRouter",
+    "MicroBatcher",
+    "QueryService",
+    "ServiceStats",
+    "StatsSnapshot",
+    "serve_points",
+]

@@ -1,0 +1,349 @@
+"""The micro-batching core of the async query service.
+
+A :class:`MicroBatcher` turns many concurrent ``await submit(point)`` calls
+into few vectorised ``locate_batch`` calls.  Submitted queries accumulate in
+an in-loop queue; a batch is *sealed* (handed to the engine) as soon as
+either
+
+* the **latency budget** expires, measured from the submission of the
+  oldest query in the accumulating batch (default 2 ms), or
+* the batch reaches **max_batch_size** queries,
+
+whichever comes first.  Each submitter's future is resolved with exactly its
+own answer from the batch array, so the answers are bit-identical to calling
+``locate_batch`` on the same points directly — locators never couple two
+query points, which is what makes regrouping sound.
+
+Concurrency contract
+====================
+
+* every successfully submitted query is answered exactly once — resolved
+  with its own answer, failed with the engine's exception, or failed with
+  :class:`~repro.exceptions.ServiceClosedError` on a non-draining shutdown;
+* a submitter cancelling its ``submit`` call never disturbs the rest of its
+  batch: the cancelled entry is skipped at seal/resolution time;
+* **backpressure**: at most ``max_pending`` queries may be queued or in
+  flight; further ``submit`` calls wait (asynchronously) for capacity;
+* the engine call runs on a dedicated worker thread by default
+  (``dispatch_in_thread=True``), so the event loop keeps accumulating and
+  sealing batches on schedule while the engine computes — including when
+  the active engine backend is ``"multiprocess"``, whose blocking
+  ``future.result()`` calls must never run on the loop thread (see
+  :mod:`repro.service` for the supported backend/service matrix);
+* the :mod:`contextvars` context captured at :meth:`start` is used for
+  every engine call, so ``use_backend(...)`` / ``use_locator(...)``
+  selections made before starting the service apply to dispatched batches
+  even though they execute on another thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ServiceClosedError, ServiceError
+from .stats import ServiceStats
+
+__all__ = [
+    "MicroBatcher",
+    "DEFAULT_LATENCY_BUDGET",
+    "DEFAULT_MAX_BATCH_SIZE",
+    "DEFAULT_MAX_PENDING",
+]
+
+#: Default accumulation window, in seconds, from the oldest queued query.
+DEFAULT_LATENCY_BUDGET = 0.002
+
+#: Default cap on the number of queries sealed into one engine call.
+DEFAULT_MAX_BATCH_SIZE = 1024
+
+#: Default backpressure bound on queued + in-flight queries.
+DEFAULT_MAX_PENDING = 8192
+
+
+class _Entry:
+    """One submitted query: its coordinates, future, and submission time."""
+
+    __slots__ = ("x", "y", "future", "submitted_at")
+
+    def __init__(self, x: float, y: float, future: "asyncio.Future[int]",
+                 submitted_at: float):
+        self.x = x
+        self.y = y
+        self.future = future
+        self.submitted_at = submitted_at
+
+
+def _point_coordinates(point) -> Tuple[float, float]:
+    """Coerce a Point / ``(x, y)`` pair / length-2 array into two floats."""
+    x = getattr(point, "x", None)
+    if x is not None:
+        return float(x), float(point.y)
+    x, y = point
+    return float(x), float(y)
+
+
+class MicroBatcher:
+    """Accumulate async point queries and answer them in vectorised batches.
+
+    Args:
+        locate: the batch answer function — ``locate(points)`` takes an
+            ``(m, 2)`` float array and returns ``m`` int64 answers (any
+            registered locator's ``locate_batch`` bound method fits).
+        latency_budget: seconds a query may wait for batch-mates, measured
+            from the oldest queued query; ``0.0`` seals immediately.
+        max_batch_size: seal as soon as this many queries have accumulated.
+        max_pending: backpressure bound on queued + in-flight queries.
+        dispatch_in_thread: run engine calls on a worker thread (keeps the
+            event loop live; required for the ``"multiprocess"`` backend).
+            ``False`` runs them inline on the loop — only safe for fast
+            in-process backends, and it stalls batch timing meanwhile.
+        dispatch_workers: worker-thread count when ``dispatch_in_thread``;
+            more than one lets slow engine calls overlap (answers stay
+            correctly routed regardless of completion order).
+        stats: a :class:`~repro.service.stats.ServiceStats` to record into
+            (a fresh one is created when omitted).
+    """
+
+    def __init__(
+        self,
+        locate: Callable[[np.ndarray], np.ndarray],
+        *,
+        latency_budget: float = DEFAULT_LATENCY_BUDGET,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        dispatch_in_thread: bool = True,
+        dispatch_workers: int = 1,
+        stats: Optional[ServiceStats] = None,
+    ):
+        if latency_budget < 0.0:
+            raise ServiceError("latency_budget must be >= 0")
+        if max_batch_size < 1:
+            raise ServiceError("max_batch_size must be >= 1")
+        if max_pending < 1:
+            raise ServiceError("max_pending must be >= 1")
+        if dispatch_workers < 1:
+            raise ServiceError("dispatch_workers must be >= 1")
+        self._locate = locate
+        self.latency_budget = latency_budget
+        self.max_batch_size = max_batch_size
+        self.max_pending = max_pending
+        self._dispatch_in_thread = dispatch_in_thread
+        self._dispatch_workers = dispatch_workers
+        self.stats = stats if stats is not None else ServiceStats()
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Deque[_Entry] = deque()
+        self._capacity: Optional[asyncio.Semaphore] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._dispatcher: Optional["asyncio.Task[None]"] = None
+        self._inflight: set = set()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._context: Optional[contextvars.Context] = None
+        self._closing = False
+        self._stopped = False
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._dispatcher is not None and not self._closing
+
+    async def start(self) -> None:
+        """Bind to the running event loop and start the dispatcher task.
+
+        Captures the current :mod:`contextvars` context, so engine backend /
+        locator selections active *now* govern every dispatched batch.
+        """
+        if self._dispatcher is not None or self._stopped:
+            raise ServiceError("a MicroBatcher can be started exactly once")
+        self._loop = asyncio.get_running_loop()
+        self._capacity = asyncio.Semaphore(self.max_pending)
+        self._wake = asyncio.Event()
+        self._context = contextvars.copy_context()
+        if self._dispatch_in_thread:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._dispatch_workers,
+                thread_name_prefix="repro-service-dispatch",
+            )
+        self._dispatcher = self._loop.create_task(
+            self._dispatch_loop(), name="repro-service-batcher"
+        )
+
+    async def stop(self, drain: bool = True) -> None:
+        """Shut down; ``drain=True`` answers everything pending first.
+
+        Draining seals all queued queries immediately (the latency budget no
+        longer applies) and waits for in-flight engine calls to resolve
+        their futures.  ``drain=False`` aborts instead: queued and in-flight
+        queries fail with :class:`ServiceClosedError`.  Either way, new
+        ``submit`` calls raise once ``stop`` has begun, and the batcher
+        cannot be restarted.
+        """
+        if self._dispatcher is None:
+            self._stopped = True
+            return
+        self._closing = True
+        self._wake.set()
+        if drain:
+            await self._dispatcher
+            if self._inflight:
+                await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        else:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            error = ServiceClosedError("service stopped without draining")
+            while self._queue:
+                entry = self._queue.popleft()
+                if not entry.future.done():
+                    entry.future.set_exception(error)
+                    self.stats.record_failed()
+                else:  # cancelled by its submitter while still queued
+                    self.stats.record_cancelled()
+            for task in list(self._inflight):
+                task.cancel()
+            if self._inflight:
+                await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=drain, cancel_futures=not drain)
+            self._executor = None
+        self._dispatcher = None
+        self._stopped = True
+
+    # -- submission ------------------------------------------------------
+    async def submit(self, point) -> int:
+        """Queue one point and await its station index (``-1`` for silence).
+
+        Applies backpressure: when ``max_pending`` queries are outstanding,
+        this call waits for capacity before queueing.  Raises
+        :class:`ServiceClosedError` if the batcher is not accepting queries,
+        including when shutdown begins while this call is waiting.
+        """
+        x, y = _point_coordinates(point)
+        if self._dispatcher is None or self._closing:
+            raise ServiceClosedError("the query service is not accepting queries")
+        await self._capacity.acquire()
+        try:
+            if self._closing:
+                raise ServiceClosedError(
+                    "the query service closed while this query waited for capacity"
+                )
+            future: "asyncio.Future[int]" = self._loop.create_future()
+            self._queue.append(_Entry(x, y, future, self._loop.time()))
+            self.stats.record_submitted()
+            # Wake the dispatcher only at the two boundaries it acts on: a
+            # queue going non-empty (a new deadline must be armed) and a
+            # queue reaching the batch cap (seal early).  In-between
+            # arrivals ride the already armed deadline timer instead of
+            # paying a dispatcher round trip per query.
+            if len(self._queue) == 1 or len(self._queue) >= self.max_batch_size:
+                self._wake.set()
+            return await future
+        finally:
+            # Sole release point: runs when the future resolves, fails, or
+            # the submitter itself is cancelled — capacity counts queued
+            # plus in-flight queries and is never released twice.
+            self._capacity.release()
+
+    # -- dispatcher ------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        loop = self._loop
+        while True:
+            # Clear *before* checking, so a submit landing between the check
+            # and the wait is never missed (no await separates clear/check).
+            self._wake.clear()
+            if not self._queue:
+                if self._closing:
+                    return
+                await self._wake.wait()
+                continue
+            deadline = self._queue[0].submitted_at + self.latency_budget
+            while not self._closing and len(self._queue) < self.max_batch_size:
+                remaining = deadline - loop.time()
+                if remaining <= 0.0:
+                    break
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            self._seal_batch()
+
+    def _seal_batch(self) -> None:
+        """Pop up to ``max_batch_size`` entries and dispatch them as a task."""
+        count = min(len(self._queue), self.max_batch_size)
+        if count == 0:
+            return
+        now = self._loop.time()
+        entries: List[_Entry] = []
+        waits: List[float] = []
+        for _ in range(count):
+            entry = self._queue.popleft()
+            if entry.future.done():  # the submitter cancelled while queued
+                self.stats.record_cancelled()
+                continue
+            entries.append(entry)
+            waits.append(now - entry.submitted_at)
+        if not entries:
+            return
+        self.stats.record_batch(len(entries), waits)
+        points = np.empty((len(entries), 2), dtype=float)
+        for row, entry in enumerate(entries):
+            points[row, 0] = entry.x
+            points[row, 1] = entry.y
+        task = self._loop.create_task(self._run_batch(points, entries))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run_batch(self, points: np.ndarray, entries: Sequence[_Entry]) -> None:
+        try:
+            if self._executor is not None:
+                # Context.run cannot be entered concurrently from two
+                # threads, so each batch runs a fresh copy of the captured
+                # context (dispatch_workers > 1 overlaps engine calls).
+                context = self._context.copy()
+                answers = await self._loop.run_in_executor(
+                    self._executor, context.run, self._locate, points
+                )
+            else:
+                answers = self._context.copy().run(self._locate, points)
+        except asyncio.CancelledError:
+            self._fail_entries(
+                entries, ServiceClosedError("service stopped with the batch in flight")
+            )
+            raise
+        except Exception as exc:  # noqa: BLE001 - forwarded to every submitter
+            self._fail_entries(entries, exc)
+            return
+        answers = np.asarray(answers)
+        if answers.shape != (len(entries),):
+            self._fail_entries(
+                entries,
+                ServiceError(
+                    f"locator returned shape {answers.shape} "
+                    f"for a batch of {len(entries)} queries"
+                ),
+            )
+            return
+        now = self._loop.time()
+        for entry, answer in zip(entries, answers):
+            if entry.future.done():  # cancelled while the batch was in flight
+                self.stats.record_cancelled()
+                continue
+            entry.future.set_result(int(answer))
+            self.stats.record_completed(now - entry.submitted_at)
+
+    def _fail_entries(self, entries: Sequence[_Entry], error: BaseException) -> None:
+        for entry in entries:
+            if not entry.future.done():
+                entry.future.set_exception(error)
+                self.stats.record_failed()
+            else:
+                self.stats.record_cancelled()

@@ -1,0 +1,247 @@
+"""The asyncio query service fronting the locator registry.
+
+:class:`QueryService` owns one locator (built by registry name — any name
+:func:`repro.pointlocation.get_locator` accepts, including composed
+``"sharded:<inner>"`` spellings — or passed pre-built) and one
+:class:`~repro.service.batcher.MicroBatcher`.  Awaiting
+:meth:`QueryService.locate` queues the point; the batcher answers it
+together with every other query that arrived within the latency budget, as
+one vectorised ``locate_batch`` call through the active engine backend.
+
+:class:`LocatorRouter` runs one service per locator name, so one process
+can serve e.g. ``"voronoi"`` for cheap exact answers and
+``"sharded:theorem3"`` for a large deployment side by side, each with its
+own batch accumulation and stats.
+
+:func:`serve_points` is the sync facade for scripts and benchmarks: it
+spins up an event loop, serves an array of points through a temporary
+service with maximal concurrency, and returns the ``int64`` answers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..engine.batch import as_points_array
+from ..exceptions import ServiceError
+from ..pointlocation.registry import Locator, build_locator
+from .batcher import MicroBatcher
+from .stats import ServiceStats, StatsSnapshot
+
+__all__ = ["QueryService", "LocatorRouter", "serve_points"]
+
+
+class QueryService:
+    """Micro-batched async point location over one locator.
+
+    Args:
+        network: the :class:`~repro.model.network.WirelessNetwork` served.
+        locator: a registry name (``"voronoi"``, ``"theorem3"``,
+            ``"sharded:voronoi"``, ...), ``None`` for the context's active
+            locator selection, or an already built locator object (anything
+            with a ``locate_batch``).
+        build_options: forwarded to the locator factory's ``build`` when
+            ``locator`` is a name (e.g. ``{"epsilon": 0.3}`` or
+            ``{"shards": 8}``).
+        **batcher_options: :class:`MicroBatcher` knobs — ``latency_budget``,
+            ``max_batch_size``, ``max_pending``, ``dispatch_in_thread``,
+            ``dispatch_workers``.
+
+    Use as an async context manager (``async with QueryService(...)``) or
+    call :meth:`start` / :meth:`stop` explicitly.  The locator is built
+    eagerly in the constructor so that expensive preprocessing (e.g.
+    ``theorem3``) happens before the service advertises itself as up.
+    """
+
+    def __init__(
+        self,
+        network,
+        locator: Union[str, Locator, None] = "voronoi",
+        *,
+        build_options: Optional[Mapping[str, object]] = None,
+        **batcher_options,
+    ):
+        self.network = network
+        if locator is None or isinstance(locator, str):
+            self.locator = build_locator(network, locator, **dict(build_options or {}))
+            self.locator_name = locator if isinstance(locator, str) else getattr(
+                self.locator, "name", "<active>"
+            )
+        else:
+            if build_options:
+                raise ServiceError(
+                    "build_options only apply when the locator is built by name"
+                )
+            if not hasattr(locator, "locate_batch"):
+                raise ServiceError(
+                    "a pre-built locator must provide locate_batch(points)"
+                )
+            self.locator = locator
+            self.locator_name = getattr(locator, "name", type(locator).__name__)
+        self._batcher = MicroBatcher(self.locator.locate_batch, **batcher_options)
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._batcher.running
+
+    async def start(self) -> "QueryService":
+        await self._batcher.start()
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        await self._batcher.stop(drain=drain)
+
+    async def __aenter__(self) -> "QueryService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop(drain=exc_info[0] is None)
+
+    # -- queries ---------------------------------------------------------
+    async def locate(self, point) -> int:
+        """Answer one query: the heard station's index, or ``-1`` for silence.
+
+        The answer is bit-identical to the locator's own ``locate_batch``
+        on the same point — micro-batching regroups queries, never changes
+        their answers.
+        """
+        return await self._batcher.submit(point)
+
+    async def locate_many(self, points) -> np.ndarray:
+        """Submit a whole batch concurrently; answers in query order (int64).
+
+        Every point becomes an individual service query (they may be split
+        across several micro-batches); the returned array matches a direct
+        ``locate_batch`` on the same points exactly.
+        """
+        pts = as_points_array(points)
+        answers = await asyncio.gather(
+            *(self._batcher.submit((x, y)) for x, y in pts)
+        )
+        return np.asarray(answers, dtype=np.int64)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def stats(self) -> ServiceStats:
+        return self._batcher.stats
+
+    def stats_snapshot(self) -> StatsSnapshot:
+        return self._batcher.stats.snapshot()
+
+
+class LocatorRouter:
+    """One micro-batching service per locator name, behind a single front.
+
+    Args:
+        network: the network every routed locator serves.
+        locators: the routed names — either an iterable of registry names,
+            or a mapping ``name -> build_options`` for per-name build
+            configuration.
+        **batcher_options: shared :class:`MicroBatcher` knobs applied to
+            every routed service.
+
+    Each name gets its own :class:`QueryService` (hence its own batcher,
+    backpressure bound and stats): a slow ``theorem3`` build or a bursty
+    client of one locator never delays batches of another beyond event-loop
+    scheduling.
+    """
+
+    def __init__(
+        self,
+        network,
+        locators: Union[Iterable[str], Mapping[str, Mapping[str, object]]],
+        **batcher_options,
+    ):
+        if isinstance(locators, Mapping):
+            named: Dict[str, Mapping[str, object]] = dict(locators)
+        else:
+            named = {name: {} for name in locators}
+        if not named:
+            raise ServiceError("a LocatorRouter needs at least one locator name")
+        self.network = network
+        self._services: Dict[str, QueryService] = {
+            name: QueryService(
+                network, name, build_options=options, **batcher_options
+            )
+            for name, options in named.items()
+        }
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> "LocatorRouter":
+        for service in self._services.values():
+            await service.start()
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        for service in self._services.values():
+            await service.stop(drain=drain)
+
+    async def __aenter__(self) -> "LocatorRouter":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop(drain=exc_info[0] is None)
+
+    # -- routing ---------------------------------------------------------
+    def service(self, name: str) -> QueryService:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise ServiceError(
+                f"no service routes locator {name!r}; "
+                f"routed: {sorted(self._services)}"
+            ) from None
+
+    @property
+    def locator_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._services))
+
+    async def locate(self, name: str, point) -> int:
+        return await self.service(name).locate(point)
+
+    async def locate_many(self, name: str, points) -> np.ndarray:
+        return await self.service(name).locate_many(points)
+
+    def stats_snapshots(self) -> Dict[str, StatsSnapshot]:
+        return {
+            name: service.stats_snapshot()
+            for name, service in self._services.items()
+        }
+
+
+def serve_points(
+    network,
+    points,
+    locator: Union[str, Locator, None] = "voronoi",
+    *,
+    build_options: Optional[Mapping[str, object]] = None,
+    return_stats: bool = False,
+    **batcher_options,
+):
+    """Serve an array of points through a temporary service, synchronously.
+
+    The script-facing facade: runs its own event loop, submits every point
+    as an individual concurrent query (so micro-batching genuinely engages),
+    and tears the service down cleanly.  Returns the ``int64`` answers — or
+    an ``(answers, StatsSnapshot)`` pair with ``return_stats=True`` for
+    harnesses that want the batching shape too.
+
+    Must not be called while an event loop is already running in this
+    thread (use :class:`QueryService` directly from async code).
+    """
+
+    async def _run():
+        async with QueryService(
+            network, locator, build_options=build_options, **batcher_options
+        ) as service:
+            answers = await service.locate_many(points)
+            return answers, service.stats_snapshot()
+
+    answers, snapshot = asyncio.run(_run())
+    if return_stats:
+        return answers, snapshot
+    return answers

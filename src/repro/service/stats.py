@@ -1,0 +1,141 @@
+"""Per-service statistics: counters, batch-size shape, latency percentiles.
+
+The micro-batcher records three kinds of facts while it runs:
+
+* *counters* — queries submitted / completed / cancelled / failed, batches
+  dispatched, and the running batch-size aggregate;
+* *seal waits* — how long each query sat in the accumulation window before
+  its batch was sealed (submission to dispatch decision).  This is the
+  quantity the latency budget bounds, independent of how slow the locator
+  itself is;
+* *end-to-end latencies* — submission to answer, which adds the engine call
+  on top of the wait.
+
+Waits and latencies are kept in bounded reservoirs (the most recent
+``reservoir_size`` samples) so a long-running service never grows without
+bound; percentiles are computed on demand from the reservoir.
+
+Everything here is mutated only from the service's event loop thread, so no
+locking is needed; :meth:`ServiceStats.snapshot` returns an immutable copy
+safe to hand across threads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, Sequence
+
+__all__ = ["ServiceStats", "StatsSnapshot"]
+
+#: Default number of wait / latency samples retained for percentiles.
+DEFAULT_RESERVOIR_SIZE = 4096
+
+
+def _percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``nan`` when empty).
+
+    Nearest-rank keeps the answer an actually observed value, which is the
+    honest choice for small reservoirs; ``fraction`` is in ``[0, 1]``.
+    """
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """An immutable view of a service's counters and percentile estimates.
+
+    Latency and wait fields are in seconds; ``nan`` where no sample exists
+    yet (e.g. ``latency_p50`` before the first answer).
+    """
+
+    submitted: int
+    completed: int
+    cancelled: int
+    failed: int
+    batches: int
+    mean_batch_size: float
+    max_batch_size: int
+    wait_p50: float
+    wait_p99: float
+    latency_p50: float
+    latency_p99: float
+
+    def describe(self) -> str:
+        """One human-readable line (used by the example and benchmarks)."""
+        return (
+            f"{self.completed}/{self.submitted} answered in {self.batches} "
+            f"batches (mean {self.mean_batch_size:.1f}, max "
+            f"{self.max_batch_size}); wait p50/p99 "
+            f"{self.wait_p50 * 1e3:.2f}/{self.wait_p99 * 1e3:.2f} ms; "
+            f"latency p50/p99 {self.latency_p50 * 1e3:.2f}/"
+            f"{self.latency_p99 * 1e3:.2f} ms"
+        )
+
+
+class ServiceStats:
+    """Mutable accumulator owned by one :class:`~repro.service.MicroBatcher`."""
+
+    def __init__(self, reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self.submitted = 0
+        self.completed = 0
+        self.cancelled = 0
+        self.failed = 0
+        self.batches = 0
+        self.max_batch_size = 0
+        self._batched_queries = 0
+        self._waits: Deque[float] = deque(maxlen=reservoir_size)
+        self._latencies: Deque[float] = deque(maxlen=reservoir_size)
+
+    # -- recording (event-loop thread only) -----------------------------
+    def record_submitted(self) -> None:
+        self.submitted += 1
+
+    def record_cancelled(self) -> None:
+        self.cancelled += 1
+
+    def record_batch(self, size: int, waits: Iterable[float]) -> None:
+        """One sealed batch of ``size`` live queries and their seal waits."""
+        self.batches += 1
+        self._batched_queries += size
+        self.max_batch_size = max(self.max_batch_size, size)
+        self._waits.extend(waits)
+
+    def record_completed(self, latency: float) -> None:
+        self.completed += 1
+        self._latencies.append(latency)
+
+    def record_failed(self, count: int = 1) -> None:
+        self.failed += count
+
+    # -- derived views ---------------------------------------------------
+    @property
+    def mean_batch_size(self) -> float:
+        return self._batched_queries / self.batches if self.batches else float("nan")
+
+    def wait_percentile(self, fraction: float) -> float:
+        return _percentile(tuple(self._waits), fraction)
+
+    def latency_percentile(self, fraction: float) -> float:
+        return _percentile(tuple(self._latencies), fraction)
+
+    def snapshot(self) -> StatsSnapshot:
+        return StatsSnapshot(
+            submitted=self.submitted,
+            completed=self.completed,
+            cancelled=self.cancelled,
+            failed=self.failed,
+            batches=self.batches,
+            mean_batch_size=self.mean_batch_size,
+            max_batch_size=self.max_batch_size,
+            wait_p50=self.wait_percentile(0.50),
+            wait_p99=self.wait_percentile(0.99),
+            latency_p50=self.latency_percentile(0.50),
+            latency_p99=self.latency_percentile(0.99),
+        )

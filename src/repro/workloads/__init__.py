@@ -1,4 +1,4 @@
-"""Workload generation: random network families and the benchmark scenario catalogue."""
+"""Workload generation: network families, benchmark scenarios, async load shapes."""
 
 from .generators import (
     clustered_network,
@@ -10,6 +10,14 @@ from .generators import (
     ring_network,
     two_station_network,
     uniform_random_network,
+)
+from .loadgen import (
+    burst_schedule,
+    poisson_schedule,
+    run_bursts,
+    run_closed_loop,
+    run_poisson,
+    run_scheduled,
 )
 from .scenarios import (
     DEFAULT_LOCATOR_SWEEP,
@@ -27,15 +35,21 @@ __all__ = [
     "DEFAULT_LOCATOR_SWEEP",
     "SCENARIOS",
     "Scenario",
+    "burst_schedule",
     "clustered_network",
     "clustered_outliers_network",
     "colinear_network",
     "grid_network",
     "locator_sweep_names",
     "point_location_networks",
+    "poisson_schedule",
     "random_query_array",
     "random_query_points",
     "ring_network",
+    "run_bursts",
+    "run_closed_loop",
+    "run_poisson",
+    "run_scheduled",
     "scenario",
     "scenario_names",
     "sharding_networks",

@@ -1,0 +1,134 @@
+"""Async load generators for the micro-batching query service.
+
+Three client shapes drive :class:`~repro.service.QueryService` the way real
+traffic would, all deterministic given a seed:
+
+* **Poisson** (open loop) — queries arrive at exponential inter-arrival
+  times for a target rate, regardless of how fast answers come back.  The
+  steady-traffic shape micro-batching is designed for: within a 2 ms budget
+  at rate ``r`` the expected batch size is ``r * 0.002``.
+* **Burst** (open loop) — groups of queries land simultaneously with gaps
+  between groups; models synchronized clients and stresses the
+  max-batch-size path.
+* **Closed loop** — ``k`` concurrent clients each submit their next query
+  only after receiving the previous answer; models request-per-connection
+  clients and bounds in-flight work by ``k``.
+
+Schedules (arrival offsets in seconds) are plain numpy arrays, so tests can
+inspect them; the ``run_*`` coroutines submit the points of a workload on
+that schedule and return the answers **in workload order**, ready for a
+bit-identical comparison against a direct ``locate_batch``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import List
+
+import numpy as np
+
+from ..engine.batch import as_points_array
+
+__all__ = [
+    "poisson_schedule",
+    "burst_schedule",
+    "run_scheduled",
+    "run_poisson",
+    "run_bursts",
+    "run_closed_loop",
+]
+
+
+def poisson_schedule(count: int, rate: float, seed: int = 0) -> np.ndarray:
+    """Arrival offsets (seconds) of a Poisson process with ``rate`` q/s.
+
+    Deterministic for a given seed; offsets are the cumulative sum of
+    exponential inter-arrival gaps, starting at the first gap.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if rate <= 0.0:
+        raise ValueError("rate must be positive")
+    rng = random.Random(seed)
+    gaps = [rng.expovariate(rate) for _ in range(count)]
+    return np.cumsum(np.asarray(gaps, dtype=float)) if count else np.empty(0)
+
+
+def burst_schedule(count: int, burst_size: int, gap: float) -> np.ndarray:
+    """Arrival offsets of ``count`` queries in simultaneous bursts.
+
+    Queries ``[0, burst_size)`` arrive at offset 0, the next burst at
+    ``gap`` seconds, and so on (the last burst may be partial).
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if burst_size < 1:
+        raise ValueError("burst_size must be >= 1")
+    if gap < 0.0:
+        raise ValueError("gap must be >= 0")
+    return (np.arange(count) // burst_size) * gap
+
+
+async def run_scheduled(service, points, offsets) -> np.ndarray:
+    """Open-loop driver: submit ``points[i]`` at ``offsets[i]`` seconds.
+
+    All clients are spawned up front and sleep until their scheduled
+    arrival, so late queries never wait on early answers (a genuinely open
+    loop).  Returns the ``int64`` answers in workload order.
+    """
+    pts = as_points_array(points)
+    offsets = np.asarray(offsets, dtype=float)
+    if offsets.shape != (len(pts),):
+        raise ValueError(
+            f"expected one offset per point ({len(pts)}), got {offsets.shape}"
+        )
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+
+    async def client(index: int) -> int:
+        delay = start + offsets[index] - loop.time()
+        if delay > 0.0:
+            await asyncio.sleep(delay)
+        return await service.locate((pts[index, 0], pts[index, 1]))
+
+    answers = await asyncio.gather(*(client(i) for i in range(len(pts))))
+    return np.asarray(answers, dtype=np.int64)
+
+
+async def run_poisson(service, points, rate: float, seed: int = 0) -> np.ndarray:
+    """Serve ``points`` as Poisson arrivals at ``rate`` queries/second."""
+    return await run_scheduled(
+        service, points, poisson_schedule(len(as_points_array(points)), rate, seed)
+    )
+
+
+async def run_bursts(
+    service, points, burst_size: int, gap: float = 0.005
+) -> np.ndarray:
+    """Serve ``points`` in simultaneous bursts ``gap`` seconds apart."""
+    return await run_scheduled(
+        service, points, burst_schedule(len(as_points_array(points)), burst_size, gap)
+    )
+
+
+async def run_closed_loop(service, points, clients: int = 8) -> np.ndarray:
+    """Serve ``points`` with ``clients`` concurrent request-response clients.
+
+    Point ``i`` is handled by client ``i % clients``; each client submits
+    its next query only once the previous answer arrived, so at most
+    ``clients`` queries are ever outstanding.  Answers come back in
+    workload order.
+    """
+    pts = as_points_array(points)
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    answers = np.full(len(pts), 0, dtype=np.int64)
+
+    async def client(first: int) -> None:
+        for index in range(first, len(pts), clients):
+            answers[index] = await service.locate((pts[index, 0], pts[index, 1]))
+
+    workers: List = [client(k) for k in range(min(clients, max(len(pts), 1)))]
+    await asyncio.gather(*workers)
+    return answers

@@ -1,15 +1,60 @@
-"""Shared fixtures for the test suite.
+"""Shared fixtures and seeded-workload helpers for the test suite.
 
 Networks used across many test modules are defined once here.  They are kept
 deliberately small so that the whole suite runs in a couple of minutes; the
 larger sweeps live in the benchmark harness.
+
+Besides the small hand-crafted fixtures, the *seeded random workload*
+construction shared by the engine, locator-registry, sharding and service
+test modules lives in :mod:`seeded_workloads` (:func:`seeded_network`, a
+deterministic ``uniform_random_network`` in the suite's standard regime,
+and :func:`query_box_array`, a seeded query batch over a network's bounding
+box plus margin) and is wrapped here as the ``query_box`` fixture plus the
+standard 10- and 50-station network fixtures.  Test modules that build
+networks inside parametrised test bodies (where fixtures cannot reach)
+import the helpers from ``seeded_workloads`` directly.
 """
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro import Point, SINRDiagram, WirelessNetwork
+
+from seeded_workloads import query_box_array, seeded_network
+
+
+@pytest.fixture(scope="session")
+def query_box():
+    """The :func:`query_box_array` factory, as a fixture."""
+    return query_box_array
+
+
+@pytest.fixture(scope="session")
+def seeded_rng() -> np.random.Generator:
+    """A session-stable numpy RNG for tests that need ad-hoc randomness."""
+    return np.random.default_rng(20090810)  # PODC'09 vintage
+
+
+@pytest.fixture(scope="session")
+def ten_station_network() -> WirelessNetwork:
+    """The standard 10-station network of the locator/registry/service tests."""
+    return seeded_network(10, side=16.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def fifty_station_network() -> WirelessNetwork:
+    """The standard 50-station network at the service acceptance scale.
+
+    Parameter-identical to the workload of ``benchmarks/bench_service.py``
+    and ``examples/point_location_service.py`` (50 stations, seed 23, side
+    ``4 * sqrt(50)``), so tests built on it cross-check the same network
+    the gated benchmark serves.
+    """
+    return seeded_network(
+        50, side=4.0 * 50 ** 0.5, seed=23, minimum_separation=1.5, noise=0.002
+    )
 
 
 @pytest.fixture

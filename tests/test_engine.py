@@ -50,7 +50,7 @@ from repro.pointlocation import (
     PointLocationStructure,
     VoronoiCandidateLocator,
 )
-from repro.workloads import random_query_array, uniform_random_network
+from seeded_workloads import query_box_array, seeded_network
 
 needs_numba = pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
 
@@ -84,15 +84,13 @@ def candidate_backend(request, pooled_multiprocess):
 
 
 def random_network(seed: int, noise: float = 0.005, beta: float = 3.0):
-    return uniform_random_network(
-        6, side=14.0, minimum_separation=2.0, noise=noise, beta=beta, seed=seed
-    )
+    # The shared seeded construction (tests/seeded_workloads.py), at the
+    # engine suite's standard 6-station scale.
+    return seeded_network(6, side=14.0, seed=seed, noise=noise, beta=beta)
 
 
 def queries_for(network, count: int = 200, seed: int = 1) -> np.ndarray:
-    return random_query_array(
-        count, Point(-3.0, -3.0), Point(17.0, 17.0), seed=seed
-    )
+    return query_box_array(network, count, seed=seed, margin=3.0)
 
 
 # ----------------------------------------------------------------------

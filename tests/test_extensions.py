@@ -185,6 +185,14 @@ class TestExperimentHarness:
         assert result.reproduced
         assert len(result.details["series"]) == 4
 
+    def test_query_service_experiment_reproduces(self):
+        from repro.analysis import run_query_service
+
+        result = run_query_service(queries=600)
+        assert result.reproduced, result.measured
+        assert result.details["mismatches"] == 0
+        assert result.details["mean_batch_size"] > 1.0
+
     def test_format_report_is_markdown_table(self):
         results = [run_figure2()]
         report = format_report(results)

@@ -24,7 +24,9 @@ from repro.pointlocation import (
     register_locator,
     use_locator,
 )
-from repro.workloads import random_query_array, uniform_random_network
+from repro.workloads import random_query_array
+
+from seeded_workloads import seeded_network
 
 #: Build options that keep the sweep fast; every name resolves via the
 #: registry exactly as harness code would.
@@ -42,15 +44,14 @@ CONTRACT_SWEEP = [
 
 
 @pytest.fixture(scope="module")
-def network():
-    return uniform_random_network(
-        10, side=16.0, minimum_separation=2.0, noise=0.005, beta=3.0, seed=3
-    )
+def network(ten_station_network):
+    # The suite-standard 10-station network (tests/conftest.py).
+    return ten_station_network
 
 
 @pytest.fixture(scope="module")
-def queries(network):
-    return random_query_array(800, Point(-3.0, -3.0), Point(19.0, 19.0), seed=21)
+def queries(network, query_box):
+    return query_box(network, 800, seed=21, margin=3.0)
 
 
 @pytest.fixture(scope="module")
@@ -166,9 +167,7 @@ class TestLocatorContract:
         absolute coordinate scale (the bisection tolerance is relative)."""
         from repro.geometry.transform import SimilarityTransform
 
-        base = uniform_random_network(
-            8, side=12.0, minimum_separation=2.0, noise=0.01, beta=3.0, seed=6
-        )
+        base = seeded_network(8, side=12.0, seed=6, noise=0.01)
         scaled = base.transformed(SimilarityTransform.scaling(1000.0))
         queries = random_query_array(
             600, Point(-2000.0, -2000.0), Point(14000.0, 14000.0), seed=2

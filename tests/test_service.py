@@ -1,0 +1,740 @@
+"""Concurrency and correctness contract of the async query service.
+
+The centrepiece invariant: **every successfully submitted query is answered
+exactly once, with the bit-identical answer a direct ``locate_batch`` on
+the same locator would give** — no drops, no duplicates, no cross-talk
+between the queries that happen to share a micro-batch.  The suite drives
+the service with hundreds of concurrent submitters, mixed batch boundaries,
+cancellation mid-batch, shutdown with queries in flight, backpressure
+saturation, and slow/fake/failing locators, and checks the latency budget
+is honoured within tolerance.
+
+No pytest-asyncio dependency: every test drives its coroutine with
+``asyncio.run`` through the :func:`run` helper (which adds a watchdog
+timeout so a service deadlock fails the test instead of hanging the
+suite — the multiprocess-backend regression relies on this).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import MultiprocessBackend, use_backend
+from repro.exceptions import ServiceClosedError, ServiceError
+from repro.pointlocation import build_locator
+from repro.service import (
+    LocatorRouter,
+    MicroBatcher,
+    QueryService,
+    ServiceStats,
+    serve_points,
+)
+from repro.workloads import (
+    burst_schedule,
+    poisson_schedule,
+    run_bursts,
+    run_closed_loop,
+    run_poisson,
+    run_scheduled,
+)
+
+from seeded_workloads import query_box_array
+
+
+def run(coro, timeout: float = 120.0):
+    """Drive a coroutine from sync test code, with a deadlock watchdog."""
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+@pytest.fixture(scope="module")
+def network(ten_station_network):
+    return ten_station_network
+
+
+@pytest.fixture(scope="module")
+def queries(network):
+    return query_box_array(network, 900, seed=77, margin=3.0)
+
+
+@pytest.fixture(scope="module")
+def truth(network, queries):
+    return build_locator(network, "voronoi").locate_batch(queries)
+
+
+# ----------------------------------------------------------------------
+# Test doubles
+# ----------------------------------------------------------------------
+def fingerprint_answers(points) -> np.ndarray:
+    """A deterministic, per-point-unique-ish answer: detects cross-talk."""
+    pts = np.asarray(points, dtype=float)
+    return (np.abs(pts[:, 0] * 1e6 + pts[:, 1] * 1e3).astype(np.int64)) % 100003
+
+
+class FakeLocator:
+    """A locator double answering with a per-point fingerprint.
+
+    ``delay`` seconds of blocking sleep per batch model a slow engine call;
+    every call is recorded (thread-safely) for batch-shape assertions.
+    """
+
+    name = "fake"
+
+    def __init__(self, delay: float = 0.0):
+        self.delay = delay
+        self.calls = []
+        self._lock = threading.Lock()
+
+    def locate_batch(self, points):
+        if self.delay:
+            time.sleep(self.delay)
+        points = np.asarray(points, dtype=float)
+        with self._lock:
+            self.calls.append(len(points))
+        return fingerprint_answers(points)
+
+
+class GatedLocator(FakeLocator):
+    """A fake locator that blocks until the test opens its gate."""
+
+    def __init__(self):
+        super().__init__()
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+
+    def locate_batch(self, points):
+        self.entered.set()
+        if not self.gate.wait(timeout=30.0):
+            raise TimeoutError("test gate never opened")
+        return super().locate_batch(points)
+
+
+class FlakyOnceLocator(FakeLocator):
+    """Fails its first batch with ValueError, then behaves."""
+
+    def __init__(self):
+        super().__init__()
+        self._failed = False
+
+    def locate_batch(self, points):
+        if not self._failed:
+            self._failed = True
+            raise ValueError("transient engine failure")
+        return super().locate_batch(points)
+
+
+# ----------------------------------------------------------------------
+# Exactly-once, bit-identical delivery
+# ----------------------------------------------------------------------
+class TestExactness:
+    def test_hundreds_of_concurrent_submitters(self, network, queries, truth,
+                                               seeded_rng):
+        """300 submitter tasks, jittered arrivals: every answer is the
+        direct ``locate_batch`` answer for that submitter's own point."""
+        jitter = seeded_rng.uniform(0.0, 0.01, size=len(queries))
+        chunks = np.array_split(np.arange(len(queries)), 300)
+
+        async def main():
+            received = {}
+
+            async def submitter(indices):
+                for i in indices:
+                    await asyncio.sleep(jitter[i])
+                    answer = await service.locate(queries[i])
+                    assert i not in received, "duplicate answer"
+                    received[i] = answer
+
+            async with QueryService(
+                network, "voronoi", latency_budget=0.003, max_batch_size=97
+            ) as service:
+                await asyncio.gather(*(submitter(c) for c in chunks))
+                snapshot = service.stats_snapshot()
+            return received, snapshot
+
+        received, snapshot = run(main())
+        assert len(received) == len(queries)
+        answers = np.array([received[i] for i in range(len(queries))])
+        np.testing.assert_array_equal(answers, truth)
+        # Exactly-once at the service level too: nothing dropped or retried.
+        assert snapshot.submitted == len(queries)
+        assert snapshot.completed == len(queries)
+        assert snapshot.cancelled == 0 and snapshot.failed == 0
+        # Micro-batching genuinely engaged (not one call per query).
+        assert snapshot.batches < len(queries)
+        assert snapshot.mean_batch_size > 1.0
+
+    def test_mixed_batch_boundaries_preserve_identity(self, network, queries,
+                                                      truth):
+        """Odd max_batch_size: queries split across many seals at varying
+        positions, yet answers stay in bijection with their queries."""
+
+        async def main():
+            async with QueryService(
+                network, "voronoi", latency_budget=0.001, max_batch_size=7
+            ) as service:
+                answers = await service.locate_many(queries[:350])
+                return answers, service.stats_snapshot()
+
+        answers, snapshot = run(main())
+        np.testing.assert_array_equal(answers, truth[:350])
+        assert answers.dtype == np.int64
+        assert snapshot.max_batch_size <= 7
+        assert snapshot.batches >= 50  # 350 queries / max 7 per batch
+
+    def test_no_cross_talk_between_interleaved_clients(self, network):
+        """Two clients with disjoint fingerprinted points, interleaved
+        submissions: each gets its own fingerprints back."""
+        fake = FakeLocator()
+        a_pts = query_box_array(network, 120, seed=5)
+        b_pts = query_box_array(network, 120, seed=6) + 1000.0
+
+        async def client(service, pts):
+            return np.array(
+                [await service.locate((x, y)) for x, y in pts], dtype=np.int64
+            )
+
+        async def main():
+            async with QueryService(network, fake, latency_budget=0.002) as service:
+                return await asyncio.gather(
+                    client(service, a_pts), client(service, b_pts)
+                )
+
+        got_a, got_b = run(main())
+        np.testing.assert_array_equal(got_a, fingerprint_answers(a_pts))
+        np.testing.assert_array_equal(got_b, fingerprint_answers(b_pts))
+
+    @pytest.mark.parametrize("locator,options", [
+        ("brute-force", {}),
+        ("sharded:voronoi", {"shards": 3}),
+        ("theorem3", {"epsilon": 0.5, "cover_method": "ray_sweep"}),
+    ])
+    def test_every_registered_locator_kind_serves_exactly(self, network, queries,
+                                                          truth, locator, options):
+        answers = serve_points(
+            network, queries[:300], locator, build_options=options,
+            max_batch_size=64,
+        )
+        np.testing.assert_array_equal(answers, truth[:300])
+
+    def test_acceptance_scale_network_serves_exactly(self, fifty_station_network):
+        """The bench workload's 50-station network (same seed and box as
+        benchmarks/bench_service.py) through the service, vs brute force."""
+        pts = query_box_array(fifty_station_network, 1000, seed=17, margin=2.0)
+        truth = build_locator(fifty_station_network, "brute-force").locate_batch(pts)
+        for locator, options in (
+            ("voronoi", {}),
+            ("sharded:voronoi", {"shards": 8}),
+        ):
+            answers, snapshot = serve_points(
+                fifty_station_network, pts, locator, build_options=options,
+                max_batch_size=256, return_stats=True,
+            )
+            np.testing.assert_array_equal(answers, truth)
+            assert snapshot.mean_batch_size > 1.0
+
+
+# ----------------------------------------------------------------------
+# Load shapes (the async load generator)
+# ----------------------------------------------------------------------
+class TestLoadShapes:
+    def test_schedules_are_deterministic_and_shaped(self):
+        first = poisson_schedule(64, rate=1000.0, seed=9)
+        second = poisson_schedule(64, rate=1000.0, seed=9)
+        np.testing.assert_array_equal(first, second)
+        assert np.all(np.diff(first) >= 0.0)
+        assert len(poisson_schedule(0, rate=10.0)) == 0
+
+        bursts = burst_schedule(10, burst_size=4, gap=0.01)
+        np.testing.assert_allclose(bursts, [0, 0, 0, 0, .01, .01, .01, .01, .02, .02])
+        with pytest.raises(ValueError):
+            poisson_schedule(4, rate=0.0)
+        with pytest.raises(ValueError):
+            burst_schedule(4, burst_size=0, gap=0.01)
+
+    def test_all_load_shapes_round_trip(self, network, queries, truth):
+        subset = queries[:240]
+
+        async def main():
+            async with QueryService(
+                network, "voronoi", latency_budget=0.002, max_batch_size=128
+            ) as service:
+                poisson = await run_poisson(service, subset, rate=60_000.0, seed=4)
+                burst = await run_bursts(service, subset, burst_size=48, gap=0.003)
+                closed = await run_closed_loop(service, subset, clients=24)
+                return poisson, burst, closed
+
+        for answers in run(main()):
+            np.testing.assert_array_equal(answers, truth[:240])
+
+    def test_scheduled_offsets_must_match_points(self, network):
+        async def main():
+            async with QueryService(network, "voronoi") as service:
+                with pytest.raises(ValueError):
+                    await run_scheduled(service, np.zeros((3, 2)), [0.0, 0.1])
+
+        run(main())
+
+
+# ----------------------------------------------------------------------
+# Latency budget
+# ----------------------------------------------------------------------
+class TestLatencyBudget:
+    def test_deadline_respected_on_slow_locator(self, network):
+        """A slow engine call must not stretch the accumulation window:
+        batches keep sealing on budget while earlier calls still run."""
+        fake = FakeLocator(delay=0.05)
+        pts = query_box_array(network, 40, seed=8)
+        offsets = np.linspace(0.0, 0.3, len(pts))
+        budget = 0.05
+
+        async def main():
+            async with QueryService(
+                network, fake, latency_budget=budget, max_batch_size=1024,
+                dispatch_workers=4,
+            ) as service:
+                answers = await run_scheduled(service, pts, offsets)
+                return answers, service.stats_snapshot()
+
+        answers, snapshot = run(main())
+        np.testing.assert_array_equal(answers, fingerprint_answers(pts))
+        # The budget split the 0.3 s trickle into several batches...
+        assert snapshot.batches >= 3
+        # ... and no query waited much past the budget for its seal (the
+        # tolerance absorbs event-loop scheduling noise on shared runners).
+        assert snapshot.wait_p99 <= budget + 0.05
+
+    def test_zero_budget_seals_immediately(self, network, queries, truth):
+        async def main():
+            async with QueryService(
+                network, "voronoi", latency_budget=0.0, max_batch_size=1024
+            ) as service:
+                return await service.locate_many(queries[:100]), \
+                    service.stats_snapshot()
+
+        answers, snapshot = run(main())
+        np.testing.assert_array_equal(answers, truth[:100])
+        assert snapshot.completed == 100
+
+    def test_full_batch_seals_before_budget(self, network):
+        """When max_batch_size arrives instantly, sealing must not wait out
+        a long latency budget."""
+        fake = FakeLocator()
+        pts = query_box_array(network, 64, seed=12)
+
+        async def main():
+            started = time.perf_counter()
+            async with QueryService(
+                network, fake, latency_budget=5.0, max_batch_size=16
+            ) as service:
+                await service.locate_many(pts)
+            return time.perf_counter() - started
+
+        elapsed = run(main())
+        assert elapsed < 2.5  # nowhere near the 5 s budget
+        assert max(fake.calls) <= 16
+
+
+# ----------------------------------------------------------------------
+# Cancellation
+# ----------------------------------------------------------------------
+class TestCancellation:
+    def test_cancel_while_queued_spares_batch_mates(self, network):
+        fake = FakeLocator()
+        pts = query_box_array(network, 10, seed=3)
+        expected = fingerprint_answers(pts)
+
+        async def main():
+            async with QueryService(
+                network, fake, latency_budget=0.1, max_batch_size=1024
+            ) as service:
+                tasks = [
+                    asyncio.ensure_future(service.locate((x, y))) for x, y in pts
+                ]
+                await asyncio.sleep(0.01)  # all queued, none sealed yet
+                for task in tasks[::2]:
+                    task.cancel()
+                results = await asyncio.gather(*tasks, return_exceptions=True)
+                return results, service.stats_snapshot()
+
+        results, snapshot = run(main())
+        for index, result in enumerate(results):
+            if index % 2 == 0:
+                assert isinstance(result, asyncio.CancelledError)
+            else:
+                assert result == expected[index]
+        assert snapshot.cancelled == 5
+        assert snapshot.completed == 5
+
+    def test_cancel_mid_flight_spares_batch_mates(self, network):
+        gated = GatedLocator()
+        pts = query_box_array(network, 8, seed=4)
+        expected = fingerprint_answers(pts)
+
+        async def main():
+            async with QueryService(
+                network, gated, latency_budget=0.001, max_batch_size=1024
+            ) as service:
+                tasks = [
+                    asyncio.ensure_future(service.locate((x, y))) for x, y in pts
+                ]
+                # Wait until the batch is sealed and inside the engine call,
+                # then cancel half of its members mid-flight.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, gated.entered.wait
+                )
+                for task in tasks[:4]:
+                    task.cancel()
+                gated.gate.set()
+                results = await asyncio.gather(*tasks, return_exceptions=True)
+                return results, service.stats_snapshot()
+
+        try:
+            results, snapshot = run(main())
+        finally:
+            gated.gate.set()
+        for index, result in enumerate(results):
+            if index < 4:
+                assert isinstance(result, asyncio.CancelledError)
+            else:
+                assert result == expected[index]
+        assert snapshot.completed == 4
+        assert snapshot.cancelled == 4
+
+
+# ----------------------------------------------------------------------
+# Shutdown
+# ----------------------------------------------------------------------
+class TestShutdown:
+    def test_drain_answers_in_flight_queries_immediately(self, network):
+        """stop(drain=True) with a huge budget: queued queries are sealed
+        at once (the budget no longer applies) and all answered."""
+        fake = FakeLocator()
+        pts = query_box_array(network, 20, seed=6)
+
+        async def main():
+            service = await QueryService(
+                network, fake, latency_budget=30.0, max_batch_size=1024
+            ).start()
+            tasks = [
+                asyncio.ensure_future(service.locate((x, y))) for x, y in pts
+            ]
+            await asyncio.sleep(0.01)
+            started = time.perf_counter()
+            await service.stop(drain=True)
+            elapsed = time.perf_counter() - started
+            return await asyncio.gather(*tasks), elapsed, service.stats_snapshot()
+
+        answers, elapsed, snapshot = run(main())
+        np.testing.assert_array_equal(np.array(answers), fingerprint_answers(pts))
+        assert elapsed < 5.0  # nowhere near the 30 s budget
+        assert snapshot.completed == len(pts)
+
+    def test_abort_fails_queued_and_in_flight_queries(self, network):
+        gated = GatedLocator()
+        pts = query_box_array(network, 12, seed=7)
+
+        async def main():
+            service = await QueryService(
+                network, gated, latency_budget=0.001, max_batch_size=6
+            ).start()
+            tasks = [
+                asyncio.ensure_future(service.locate((x, y))) for x, y in pts
+            ]
+            await asyncio.get_running_loop().run_in_executor(
+                None, gated.entered.wait
+            )
+            # One batch of 6 is blocked inside the gate; more are queued.
+            await service.stop(drain=False)
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            with pytest.raises(ServiceClosedError):
+                await service.locate((0.0, 0.0))
+            return results
+
+        try:
+            results = run(main())
+        finally:
+            gated.gate.set()
+        assert all(isinstance(r, ServiceClosedError) for r in results)
+
+    def test_abort_accounts_cancelled_queued_entries(self, network):
+        """Regression: a query cancelled while queued is counted as
+        cancelled (not silently dropped) when the abort flushes the queue —
+        submitted == completed + cancelled + failed must keep holding."""
+
+        async def main():
+            service = await QueryService(
+                network, FakeLocator(), latency_budget=30.0, max_batch_size=1024
+            ).start()
+            first = asyncio.ensure_future(service.locate((0.0, 0.0)))
+            second = asyncio.ensure_future(service.locate((1.0, 1.0)))
+            await asyncio.sleep(0.01)  # both queued, far from the seal
+            first.cancel()
+            await asyncio.sleep(0)
+            await service.stop(drain=False)
+            await asyncio.gather(first, second, return_exceptions=True)
+            return service.stats_snapshot()
+
+        snapshot = run(main())
+        assert snapshot.submitted == 2
+        assert snapshot.cancelled == 1
+        assert snapshot.failed == 1
+        assert snapshot.completed == 0
+
+    def test_submit_after_close_and_lifecycle_misuse(self, network):
+        async def main():
+            service = QueryService(network, "voronoi")
+            with pytest.raises(ServiceClosedError):
+                await service.locate((0.0, 0.0))  # not started yet
+            await service.start()
+            with pytest.raises(ServiceError):
+                await service.start()  # double start
+            assert service.running
+            await service.stop()
+            assert not service.running
+            await service.stop()  # idempotent
+            with pytest.raises(ServiceClosedError):
+                await service.locate((0.0, 0.0))
+            with pytest.raises(ServiceError):
+                await service.start()  # no restart after stop
+
+        run(main())
+
+    def test_context_manager_drains_on_success(self, network, queries, truth):
+        async def main():
+            async with QueryService(network, "voronoi") as service:
+                return await service.locate_many(queries[:50])
+
+        np.testing.assert_array_equal(run(main()), truth[:50])
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_bounded_pending_throttles_admission(self, network):
+        gated = GatedLocator()
+        pts = query_box_array(network, 30, seed=9)
+
+        async def main():
+            async with QueryService(
+                network, gated, latency_budget=0.001, max_batch_size=4,
+                max_pending=8,
+            ) as service:
+                tasks = [
+                    asyncio.ensure_future(service.locate((x, y))) for x, y in pts
+                ]
+                await asyncio.sleep(0.05)
+                # With the engine gated shut, admission stops at max_pending:
+                # the remaining submitters are parked on the capacity gate.
+                admitted_while_gated = service.stats.submitted
+                gated.gate.set()
+                answers = await asyncio.gather(*tasks)
+                return admitted_while_gated, answers, service.stats_snapshot()
+
+        try:
+            admitted, answers, snapshot = run(main())
+        finally:
+            gated.gate.set()
+        assert admitted == 8
+        np.testing.assert_array_equal(np.array(answers), fingerprint_answers(pts))
+        assert snapshot.completed == len(pts)
+
+    def test_invalid_configuration_rejected(self, network):
+        for bad in (
+            {"latency_budget": -0.1},
+            {"max_batch_size": 0},
+            {"max_pending": 0},
+            {"dispatch_workers": 0},
+        ):
+            with pytest.raises(ServiceError):
+                QueryService(network, "voronoi", **bad)
+        with pytest.raises(ServiceError):
+            QueryService(network, object())  # no locate_batch
+        with pytest.raises(ServiceError):
+            # build_options are meaningless with a pre-built locator.
+            QueryService(network, FakeLocator(), build_options={"shards": 2})
+
+
+# ----------------------------------------------------------------------
+# Engine failures
+# ----------------------------------------------------------------------
+class TestEngineFailures:
+    def test_engine_exception_reaches_every_submitter_once(self, network):
+        flaky = FlakyOnceLocator()
+        pts = query_box_array(network, 16, seed=10)
+
+        async def main():
+            async with QueryService(
+                network, flaky, latency_budget=0.02, max_batch_size=1024
+            ) as service:
+                first = await asyncio.gather(
+                    *(service.locate((x, y)) for x, y in pts),
+                    return_exceptions=True,
+                )
+                # The service survives the failed batch and keeps serving.
+                second = await service.locate_many(pts)
+                return first, second, service.stats_snapshot()
+
+        first, second, snapshot = run(main())
+        assert all(isinstance(r, ValueError) for r in first)
+        np.testing.assert_array_equal(second, fingerprint_answers(pts))
+        assert snapshot.failed == len(pts)
+        assert snapshot.completed == len(pts)
+
+    def test_wrong_answer_shape_is_a_service_error(self, network):
+        class Broken:
+            name = "broken"
+
+            def locate_batch(self, points):
+                return np.zeros(len(points) + 1, dtype=np.int64)
+
+        async def main():
+            async with QueryService(network, Broken()) as service:
+                with pytest.raises(ServiceError):
+                    await service.locate((0.0, 0.0))
+
+        run(main())
+
+
+# ----------------------------------------------------------------------
+# Engine backend interplay (the multiprocess regression)
+# ----------------------------------------------------------------------
+class TestBackendInterplay:
+    def test_multiprocess_backend_round_trips(self, network, queries, truth):
+        """Regression: the process-global multiprocess pool and the service
+        event loop must not deadlock.  The pool's blocking future.result()
+        runs on the dispatch thread, never on the loop; the watchdog in
+        run() turns a deadlock into a failure."""
+        backend = MultiprocessBackend(workers=2, min_batch_size=1)
+
+        async def main():
+            with use_backend(backend):
+                async with QueryService(
+                    network, "voronoi", latency_budget=0.002, max_batch_size=256
+                ) as service:
+                    return await service.locate_many(queries[:400])
+
+        try:
+            answers = run(main())
+        finally:
+            backend.close()
+        np.testing.assert_array_equal(answers, truth[:400])
+
+    def test_registered_multiprocess_name_round_trips(self, network, queries,
+                                                      truth):
+        """The registered "multiprocess" default (numpy fall-through below
+        2048 points) through the sync facade."""
+        with use_backend("multiprocess"):
+            answers = serve_points(network, queries[:200], "voronoi")
+        np.testing.assert_array_equal(answers, truth[:200])
+
+    def test_backend_selection_propagates_to_dispatch_thread(self, network,
+                                                             queries, truth):
+        """use_backend() before start() governs dispatched batches even
+        though they run on a worker thread (context capture)."""
+        from repro.engine import NumpyBackend
+
+        class SpyBackend:
+            name = "spy"
+
+            def __init__(self):
+                self.inner = NumpyBackend()
+                self.calls = 0
+
+            def __getattr__(self, attr):
+                target = getattr(self.inner, attr)
+                if not callable(target):
+                    return target
+
+                def counted(*args, **kwargs):
+                    self.calls += 1
+                    return target(*args, **kwargs)
+
+                return counted
+
+        spy = SpyBackend()
+
+        async def main():
+            with use_backend(spy):
+                async with QueryService(network, "voronoi") as service:
+                    return await service.locate_many(queries[:64])
+
+        answers = run(main())
+        np.testing.assert_array_equal(answers, truth[:64])
+        assert spy.calls > 0
+
+
+# ----------------------------------------------------------------------
+# Router, facade, stats
+# ----------------------------------------------------------------------
+class TestRouterAndFacade:
+    def test_router_serves_each_name_with_own_batcher(self, network, queries,
+                                                      truth):
+        async def main():
+            async with LocatorRouter(
+                network,
+                {"voronoi": {}, "sharded:voronoi": {"shards": 3}},
+                latency_budget=0.002,
+            ) as router:
+                first = await router.locate_many("voronoi", queries[:150])
+                second = await router.locate_many("sharded:voronoi", queries[:150])
+                with pytest.raises(ServiceError):
+                    await router.locate("theorem3", (0.0, 0.0))
+                return first, second, router.stats_snapshots()
+
+        first, second, snapshots = run(main())
+        np.testing.assert_array_equal(first, truth[:150])
+        np.testing.assert_array_equal(second, truth[:150])
+        assert set(snapshots) == {"voronoi", "sharded:voronoi"}
+        for snapshot in snapshots.values():
+            assert snapshot.completed == 150
+
+    def test_router_requires_a_name(self, network):
+        with pytest.raises(ServiceError):
+            LocatorRouter(network, [])
+
+    def test_serve_points_facade_with_stats(self, network, queries, truth):
+        answers, snapshot = serve_points(
+            network, queries[:200], "voronoi", max_batch_size=64,
+            return_stats=True,
+        )
+        np.testing.assert_array_equal(answers, truth[:200])
+        assert snapshot.submitted == 200
+        assert snapshot.completed == 200
+        assert snapshot.mean_batch_size > 1.0
+        assert "answered" in snapshot.describe()
+
+    def test_stats_percentiles_and_empty_snapshot(self):
+        stats = ServiceStats(reservoir_size=8)
+        empty = stats.snapshot()
+        assert np.isnan(empty.latency_p50) and np.isnan(empty.mean_batch_size)
+        stats.record_batch(5, [0.001, 0.002, 0.003, 0.004, 0.005])
+        for latency in (0.01, 0.02, 0.03, 0.04, 0.05):
+            stats.record_completed(latency)
+        snapshot = stats.snapshot()
+        assert snapshot.wait_p50 == pytest.approx(0.003, abs=1e-9)
+        assert snapshot.wait_p99 == pytest.approx(0.005, abs=1e-9)
+        assert snapshot.latency_p99 == pytest.approx(0.05, abs=1e-9)
+        assert snapshot.mean_batch_size == 5.0
+        with pytest.raises(ValueError):
+            ServiceStats(reservoir_size=0)
+
+    def test_micro_batcher_accepts_point_objects(self, network):
+        from repro import Point
+
+        fake = FakeLocator()
+
+        async def main():
+            batcher = MicroBatcher(fake.locate_batch, latency_budget=0.001)
+            await batcher.start()
+            try:
+                return await batcher.submit(Point(1.5, 2.5))
+            finally:
+                await batcher.stop()
+
+        answer = run(main())
+        assert answer == int(fingerprint_answers(np.array([[1.5, 2.5]]))[0])

@@ -24,20 +24,11 @@ from repro.pointlocation import (
 )
 from repro.workloads import (
     clustered_outliers_network,
-    random_query_array,
     sharding_networks,
     uniform_random_network,
 )
 
-
-def query_box_array(network, count, seed, margin=4.0):
-    coords = network.coords
-    return random_query_array(
-        count,
-        Point(coords[:, 0].min() - margin, coords[:, 1].min() - margin),
-        Point(coords[:, 0].max() + margin, coords[:, 1].max() + margin),
-        seed=seed,
-    )
+from seeded_workloads import query_box_array
 
 
 class TestPartitioners:
