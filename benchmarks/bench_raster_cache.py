@@ -1,0 +1,129 @@
+"""Warm-cache overlapping raster requests vs recomputing from scratch.
+
+The serving workload of the raster tile cache: a client (figure pipeline,
+dashboard, zoom/pan UI) issues overlapping rasterisation requests over one
+network — the full deployment box, zoomed quadrants, panned half boxes and
+repeats.  Uncached, every request recomputes its whole pixel grid through
+the engine; with a warm tile cache the overlapping requests reduce to
+lookups plus array assembly.
+
+The gate: the warm-cache pass answers the same request sequence at least
+**5x** faster than the uncached rasteriser (``REPRO_BENCH_MIN_SPEEDUP``
+overrides on slow/noisy runners; the CI smoke leg relaxes it), while every
+cached raster stays bit-identical to the uncached one — which is asserted
+here on full ``labels`` + ``sinr_values`` equality, not sampled.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink the workload (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import Point, SINRDiagram, TileCache
+from repro.workloads import uniform_random_network
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+STATION_COUNT = 20
+RESOLUTION = 96 if QUICK else 192
+
+
+def _speedup_floor(default: float) -> float:
+    override = os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "")
+    return float(override) if override.strip() else default
+
+
+@pytest.fixture(scope="module")
+def workload():
+    side = 16.0
+    network = uniform_random_network(
+        STATION_COUNT,
+        side=side,
+        minimum_separation=1.5,
+        noise=0.002,
+        beta=3.0,
+        seed=31,
+    )
+    diagram = SINRDiagram(network)
+    # Overlapping views on one world lattice: the full box, its four
+    # zoomed quadrants, two panned half boxes and a repeat of the full box.
+    full = (Point(-8.0, -8.0), Point(24.0, 24.0), RESOLUTION)
+    half = RESOLUTION // 2
+    requests = [
+        full,
+        (Point(-8.0, -8.0), Point(8.0, 8.0), half),
+        (Point(8.0, -8.0), Point(24.0, 8.0), half),
+        (Point(-8.0, 8.0), Point(8.0, 24.0), half),
+        (Point(8.0, 8.0), Point(24.0, 24.0), half),
+        (Point(-8.0, 0.0), Point(24.0, 16.0), RESOLUTION),
+        (Point(0.0, -8.0), Point(16.0, 24.0), half),
+        full,
+    ]
+    return diagram, requests
+
+
+@pytest.mark.paper
+def test_warm_cache_beats_uncached_rasterisation(workload):
+    """The acceptance gate: warm-cache overlapping requests >= 5x uncached."""
+    diagram, requests = workload
+
+    uncached_seconds = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        truth = [diagram.rasterize(a, b, res) for a, b, res in requests]
+        uncached_seconds = min(uncached_seconds, time.perf_counter() - start)
+
+    cache = TileCache(tile_size=64)
+    start = time.perf_counter()
+    cold = [diagram.rasterize(a, b, res, cache=cache) for a, b, res in requests]
+    cold_seconds = time.perf_counter() - start
+    cold_stats = cache.stats()
+
+    warm_seconds = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        warm = [diagram.rasterize(a, b, res, cache=cache) for a, b, res in requests]
+        warm_seconds = min(warm_seconds, time.perf_counter() - start)
+    warm_stats = cache.stats()
+
+    for expected, cold_raster, warm_raster in zip(truth, cold, warm):
+        np.testing.assert_array_equal(expected.labels, cold_raster.labels)
+        np.testing.assert_array_equal(expected.sinr_values, cold_raster.sinr_values)
+        np.testing.assert_array_equal(expected.labels, warm_raster.labels)
+        np.testing.assert_array_equal(expected.sinr_values, warm_raster.sinr_values)
+
+    per_request = len(requests)
+    print(
+        f"\nstations={STATION_COUNT} resolution={RESOLUTION} "
+        f"requests={per_request}:"
+    )
+    print(f"{'mode':>24} {'total s':>9} {'ms/request':>11} {'hit rate':>9}")
+    rows = [
+        ("uncached", uncached_seconds, None),
+        ("cold cache", cold_seconds, cold_stats.hit_rate),
+        ("warm cache", warm_seconds, None),
+    ]
+    warm_hit_rate = (
+        (warm_stats.hits - cold_stats.hits)
+        / max(1, warm_stats.requests - cold_stats.requests)
+    )
+    rows[2] = ("warm cache", warm_seconds, warm_hit_rate)
+    for label, seconds, hit_rate in rows:
+        rate = "-" if hit_rate is None else f"{hit_rate:>8.0%}"
+        print(
+            f"{label:>24} {seconds:>9.3f} "
+            f"{seconds / per_request * 1e3:>11.2f} {rate:>9}"
+        )
+
+    assert warm_hit_rate == 1.0  # the warm pass recomputed nothing
+    speedup = uncached_seconds / warm_seconds
+    print(f"warm cache vs uncached: {speedup:.1f}x "
+          f"(cold pass overhead: {cold_seconds / uncached_seconds:.2f}x)")
+
+    # The warm cache must amortise: the default floor is the acceptance 5x
+    # (REPRO_BENCH_MIN_SPEEDUP overrides for slow or noisy runners).
+    assert speedup >= _speedup_floor(5.0)

@@ -11,6 +11,9 @@ lives in the subpackages:
 * :mod:`repro.model` — stations, networks, reception zones, SINR diagrams,
 * :mod:`repro.engine` — the batched query engine (vectorised SINR kernels,
   pluggable backends, bulk point-location),
+* :mod:`repro.raster` — the raster tile cache (decompose ``rasterize``
+  requests onto a global tile lattice, reuse tiles across overlapping
+  requests, bit-identical to the uncached path),
 * :mod:`repro.service` — the asyncio micro-batching query service (accumulate
   concurrent ``locate`` awaitables, answer them as one engine call),
 * :mod:`repro.graphs` — graph-based baselines (UDG, Quasi-UDG, ...),
@@ -29,6 +32,7 @@ from .exceptions import (
     GeometryError,
     NetworkConfigurationError,
     PointLocationError,
+    RasterCacheError,
     ReproError,
 )
 from .geometry import Point
@@ -42,11 +46,13 @@ from .model import (
     Station,
     WirelessNetwork,
 )
+from .raster import CacheStats, TileCache
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AlgebraError",
+    "CacheStats",
     "DEFAULT_ALPHA",
     "DEFAULT_BETA",
     "DiagramError",
@@ -55,11 +61,13 @@ __all__ = [
     "NetworkConfigurationError",
     "Point",
     "PointLocationError",
+    "RasterCacheError",
     "RasterDiagram",
     "ReceptionZone",
     "ReproError",
     "SINRDiagram",
     "Station",
+    "TileCache",
     "WirelessNetwork",
     "__version__",
     "engine",

@@ -16,6 +16,7 @@ from .experiments import (
     run_figure5,
     run_figure6,
     run_query_service,
+    run_raster_cache,
     run_sharded_location,
     run_theorem1,
     run_theorem2,
@@ -54,6 +55,7 @@ __all__ = [
     "run_figure5",
     "run_figure6",
     "run_query_service",
+    "run_raster_cache",
     "run_sharded_location",
     "run_theorem1",
     "run_theorem2",

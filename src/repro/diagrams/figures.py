@@ -92,6 +92,21 @@ class FigurePanel:
         udg = UnitDiskGraph.from_network(self.network, radius=self.udg_radius)
         return udg.station_heard_at(self.receiver)
 
+    def rasterize(self, resolution: int = 200, *, cache=None):
+        """Rasterise this panel's bounding box (the figure's pixel data).
+
+        Passing ``cache`` (a :class:`repro.raster.TileCache` or ``True``
+        for the process default) serves the raster from the tile cache:
+        panels of one figure share a bounding box — and different figures
+        often share lattice-aligned sub-boxes — so rendering a figure set
+        through one cache recomputes only genuinely new tiles.  The result
+        is bit-identical to the uncached rasteriser either way.
+        """
+        lower_left, upper_right = self.bounding_box
+        return SINRDiagram(self.network).rasterize(
+            lower_left, upper_right, resolution=resolution, cache=cache
+        )
+
     def matches_expectations(self) -> bool:
         """True if the actual outcomes match the recorded expectations."""
         if self.receiver is None:

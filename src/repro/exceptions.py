@@ -42,6 +42,14 @@ class DiagramError(ReproError):
     """Raised when a raster or contour diagram cannot be constructed."""
 
 
+class RasterCacheError(DiagramError):
+    """Raised for invalid raster tile-cache configuration or arguments.
+
+    Examples: a non-positive byte budget or tile size, or a ``cache=``
+    argument that is neither a :class:`repro.raster.TileCache` nor ``True``.
+    """
+
+
 class ServiceError(ReproError):
     """Raised for invalid query-service configuration or lifecycle misuse.
 

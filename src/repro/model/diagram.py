@@ -22,16 +22,127 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..engine import batch as engine_batch
-from ..engine import kernels
+from ..engine.backend import active_backend
 from ..exceptions import DiagramError
 from ..geometry.point import Point
 from .network import WirelessNetwork
 from .reception import ReceptionZone
 
-__all__ = ["SINRDiagram", "RasterDiagram"]
+__all__ = ["SINRDiagram", "RasterDiagram", "RasterLattice", "raster_block"]
 
 #: Label used in raster maps for points where no station is heard.
 NO_RECEPTION = -1
+
+#: Relative tolerance under which a box origin counts as sitting exactly on
+#: the world-anchored pixel lattice (so the lattice phase snaps to zero and
+#: tiles become shareable across every box aligned to the same pitch).
+_LATTICE_SNAP_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class RasterLattice:
+    """One axis of a raster pixel lattice.
+
+    Pixel centres along the axis live at ``phase + (g + 0.5) * pitch`` for
+    *global* integer pixel indices ``g`` — the one coordinate formula shared
+    by the monolithic rasteriser and the tile cache, so that a tile computed
+    for global indices ``[a, b)`` is bit-identical to the same slice of any
+    monolithic raster on the same lattice.
+
+    ``phase`` is ``0.0`` whenever the box origin is an integer multiple of
+    the pitch (within a tiny relative tolerance): such boxes share the
+    world-anchored lattice, which is what lets overlapping figure boxes
+    reuse each other's cached tiles.  Unaligned origins get their own lattice
+    family, keyed by the remainder ``phase`` in ``[0, pitch)``.
+
+    Attributes:
+        pitch: world units per pixel (the box length over the pixel count).
+        phase: lattice offset in ``[0, pitch)``; ``0.0`` when snapped.
+        start: global index of the request's first pixel.
+        count: number of pixels the request spans.
+    """
+
+    pitch: float
+    phase: float
+    start: int
+    count: int
+
+    @staticmethod
+    def build(origin: float, length: float, count: int) -> "RasterLattice":
+        """The lattice of a box edge starting at ``origin`` spanning ``length``."""
+        pitch = length / count
+        nearest = math.floor(origin / pitch + 0.5)
+        if abs(origin - nearest * pitch) <= pitch * _LATTICE_SNAP_RTOL:
+            return RasterLattice(pitch=pitch, phase=0.0, start=nearest, count=count)
+        start = math.floor(origin / pitch)
+        return RasterLattice(
+            pitch=pitch, phase=origin - start * pitch, start=start, count=count
+        )
+
+    def centers_at(self, start: int, count: int) -> np.ndarray:
+        """Pixel-centre coordinates of ``count`` pixels from global index ``start``."""
+        indices = np.arange(start, start + count, dtype=float)
+        return self.phase + (indices + 0.5) * self.pitch
+
+    def centers(self) -> np.ndarray:
+        """Pixel-centre coordinates of the request's own pixels."""
+        return self.centers_at(self.start, self.count)
+
+    @property
+    def stop(self) -> int:
+        """One past the request's last global pixel index."""
+        return self.start + self.count
+
+
+def raster_block(
+    network: WirelessNetwork, xs: np.ndarray, ys: np.ndarray, backend=None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Labels and SINR values over a pixel-centre grid, in one engine call.
+
+    The shared compute core of the monolithic rasteriser and the tile cache:
+    the centres become an ``(m, 2)`` batch through the engine backend
+    (``backend``, defaulting to the active one) and every per-pixel quantity
+    (SINR column, reception test, argmax) is computed independently per
+    pixel, so computing any sub-grid under the *same* backend yields
+    bit-identical values to computing the full grid.  Different backends
+    agree only to floating-point tolerance, which is why the tile cache
+    keys tiles by backend and pins one backend per assembled request.
+
+    Returns:
+        ``(labels, sinr_values)`` of shapes ``(len(ys), len(xs))`` and
+        ``(n_stations, len(ys), len(xs))``.
+    """
+    if backend is None:
+        backend = active_backend()
+    grid_x, grid_y = np.meshgrid(xs, ys)
+    pixel_points = np.column_stack((grid_x.ravel(), grid_y.ravel()))
+    n = len(network)
+    sinr_values = backend.sinr_matrix(
+        network.coords,
+        network.powers_array(),
+        pixel_points,
+        network.noise,
+        network.alpha,
+    ).reshape(n, len(ys), len(xs))
+
+    received = sinr_values >= network.beta
+    best = np.argmax(sinr_values, axis=0)
+    any_received = received.any(axis=0)
+    labels = np.where(any_received, best, NO_RECEPTION)
+    return labels, sinr_values
+
+
+def _nearest_pixel_index(centers: np.ndarray, coordinate: float) -> int:
+    """Index of the pixel centre nearest to ``coordinate`` (clamped to the raster).
+
+    Implemented as a ``searchsorted`` against the midpoints between adjacent
+    centres; a coordinate exactly on a midpoint resolves to the lower pixel,
+    and coordinates outside the box clamp to the edge pixels.
+    """
+    if len(centers) < 2:
+        return 0
+    midpoints = (centers[:-1] + centers[1:]) * 0.5
+    return int(np.searchsorted(midpoints, coordinate, side="left"))
 
 
 @dataclass(frozen=True)
@@ -39,18 +150,26 @@ class RasterDiagram:
     """A rasterised SINR diagram over an axis-aligned bounding box.
 
     Attributes:
-        xs, ys: 1-d coordinate arrays of the pixel centres.
+        xs, ys: 1-d coordinate arrays of the pixel centres.  Centres are
+            inset half a pixel from the box edges, so the pixels tile the
+            box exactly: ``labels.size * pixel_area()`` equals the box area.
         labels: 2-d integer array (``shape = (len(ys), len(xs))``); entry
             ``labels[r, c]`` is the index of the station heard at pixel
             ``(xs[c], ys[r])`` or ``NO_RECEPTION``.
         sinr_values: 3-d float array of per-station SINR values with shape
             ``(n_stations, len(ys), len(xs))``.
+        pitch: optional ``(dx, dy)`` pixel extent.  Always set by
+            :meth:`SINRDiagram.rasterize`; rasters constructed by hand may
+            omit it, in which case the extent is recovered from adjacent
+            centres (and a degenerate single-row/column raster has no
+            recoverable extent at all — see :meth:`pixel_area`).
     """
 
     xs: np.ndarray
     ys: np.ndarray
     labels: np.ndarray
     sinr_values: np.ndarray
+    pitch: Optional[Tuple[float, float]] = None
 
     @property
     def resolution(self) -> Tuple[int, int]:
@@ -58,10 +177,23 @@ class RasterDiagram:
         return (len(self.ys), len(self.xs))
 
     def pixel_area(self) -> float:
-        """Area represented by a single pixel."""
-        dx = self.xs[1] - self.xs[0] if len(self.xs) > 1 else 0.0
-        dy = self.ys[1] - self.ys[0] if len(self.ys) > 1 else 0.0
-        return float(dx * dy)
+        """Area represented by a single pixel.
+
+        Raises:
+            DiagramError: for a single-row or single-column raster without
+                an explicit ``pitch`` — the pixel extent cannot be recovered
+                from one centre, and silently returning ``0.0`` (the old
+                behaviour) zeroed every :meth:`zone_area` downstream.
+        """
+        if self.pitch is not None:
+            return float(self.pitch[0] * self.pitch[1])
+        if len(self.xs) > 1 and len(self.ys) > 1:
+            return float((self.xs[1] - self.xs[0]) * (self.ys[1] - self.ys[0]))
+        raise DiagramError(
+            "pixel_area() is undefined for a degenerate raster "
+            f"({len(self.ys)} rows x {len(self.xs)} columns) without an "
+            "explicit pitch"
+        )
 
     def zone_area(self, index: int) -> float:
         """Estimated area of the reception zone of station ``index``."""
@@ -72,9 +204,16 @@ class RasterDiagram:
         return float(np.count_nonzero(self.labels != NO_RECEPTION)) / self.labels.size
 
     def label_at(self, point: Point) -> int:
-        """Raster label at the pixel containing ``point``."""
-        column = int(np.clip(np.searchsorted(self.xs, point.x), 0, len(self.xs) - 1))
-        row = int(np.clip(np.searchsorted(self.ys, point.y), 0, len(self.ys) - 1))
+        """Raster label at the pixel whose centre is nearest to ``point``.
+
+        A ``searchsorted`` against the centres themselves would return the
+        next centre *at or above* the coordinate — biased one pixel up for
+        any point right of a centre — so the lookup goes through the
+        midpoints between centres instead.  Points outside the box clamp to
+        the nearest edge pixel.
+        """
+        column = _nearest_pixel_index(self.xs, point.x)
+        row = _nearest_pixel_index(self.ys, point.y)
         return int(self.labels[row, column])
 
 
@@ -155,13 +294,26 @@ class SINRDiagram:
         lower_left: Point,
         upper_right: Point,
         resolution: int = 200,
+        *,
+        cache=None,
     ) -> RasterDiagram:
         """Label every pixel of a bounding box with the station heard there.
+
+        Pixel centres sit at the true cell centres (half a pixel inset from
+        the box edges), so the pixels tile the box exactly and
+        ``labels.size * pixel_area()`` equals the box area — endpoint
+        sampling (the old behaviour) over-counted every area estimate by
+        ``~(1 + 1/(columns-1)) * (1 + 1/(rows-1))``.
 
         Args:
             lower_left, upper_right: corners of the bounding box.
             resolution: number of pixels along the longer side; the shorter
                 side is scaled to keep pixels square.
+            cache: ``None`` computes the raster monolithically; a
+                :class:`repro.raster.TileCache` (or ``True`` for the
+                process-wide default cache) assembles it from cached lattice
+                tiles instead, computing only the missing ones.  Both paths
+                return bit-identical rasters.
 
         Raises:
             DiagramError: if the box is empty or the resolution is too small.
@@ -180,27 +332,27 @@ class SINRDiagram:
             rows = resolution
             columns = max(2, int(round(resolution * width / height)))
 
-        xs = np.linspace(lower_left.x, upper_right.x, columns)
-        ys = np.linspace(lower_left.y, upper_right.y, rows)
-        grid_x, grid_y = np.meshgrid(xs, ys)
+        lattice_x = RasterLattice.build(lower_left.x, width, columns)
+        lattice_y = RasterLattice.build(lower_left.y, height, rows)
 
-        # One engine-kernel call labels the whole raster: the pixel centres
-        # become an (m, 2) batch and the SINR matrix is reshaped per station.
-        pixel_points = np.column_stack((grid_x.ravel(), grid_y.ravel()))
-        n = len(self.network)
-        sinr_values = kernels.sinr_matrix(
-            self.network.coords,
-            self.network.powers_array(),
-            pixel_points,
-            self.network.noise,
-            self.network.alpha,
-        ).reshape(n, rows, columns)
+        if cache is not None and cache is not False:
+            # Imported lazily: repro.raster sits above the model layer.
+            from ..raster import rasterize_tiled, resolve_cache
 
-        received = sinr_values >= self.network.beta
-        best = np.argmax(sinr_values, axis=0)
-        any_received = received.any(axis=0)
-        labels = np.where(any_received, best, NO_RECEPTION)
-        return RasterDiagram(xs=xs, ys=ys, labels=labels, sinr_values=sinr_values)
+            return rasterize_tiled(
+                self.network, lattice_x, lattice_y, cache=resolve_cache(cache)
+            )
+
+        xs = lattice_x.centers()
+        ys = lattice_y.centers()
+        labels, sinr_values = raster_block(self.network, xs, ys)
+        return RasterDiagram(
+            xs=xs,
+            ys=ys,
+            labels=labels,
+            sinr_values=sinr_values,
+            pitch=(lattice_x.pitch, lattice_y.pitch),
+        )
 
     def default_bounding_box(self, margin: float = 1.5) -> Tuple[Point, Point]:
         """A bounding box comfortably containing every bounded reception zone.
@@ -221,14 +373,19 @@ class SINRDiagram:
     # ------------------------------------------------------------------
     # Summary statistics
     # ------------------------------------------------------------------
-    def summary(self, resolution: int = 300) -> Dict[str, object]:
+    def summary(self, resolution: int = 300, *, cache=None) -> Dict[str, object]:
         """Coarse summary of the diagram (zone areas, coverage, fatness).
 
         Used by the experiment harness and examples for quick reporting; all
-        quantities are raster estimates.
+        quantities are raster estimates.  Passing ``cache`` (a
+        :class:`repro.raster.TileCache` or ``True`` for the process default)
+        serves the underlying raster from the tile cache, so repeated
+        summaries of the same network recompute nothing.
         """
         lower_left, upper_right = self.default_bounding_box()
-        raster = self.rasterize(lower_left, upper_right, resolution=resolution)
+        raster = self.rasterize(
+            lower_left, upper_right, resolution=resolution, cache=cache
+        )
         zone_areas = {
             index: raster.zone_area(index) for index in range(len(self.network))
         }

@@ -10,6 +10,7 @@ how the library reproduces the step-by-step scenarios of Figures 1–4.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
@@ -139,6 +140,31 @@ class WirelessNetwork:
             cached = np.array(self.powers(), dtype=float)
             cached.setflags(write=False)
             self.__dict__["_powers"] = cached
+        return cached
+
+    @property
+    def fingerprint(self) -> str:
+        """A cheap content fingerprint of everything reception depends on.
+
+        Hashes the station coordinates and powers together with ``noise``,
+        ``beta`` and ``alpha`` (station names are cosmetic and excluded), so
+        two content-identical networks — e.g. the same layout rebuilt in a
+        different process — share one fingerprint, while any "mutation"
+        (:meth:`with_station`, :meth:`with_noise`, ...) yields a new network
+        with a different one.  The raster tile cache keys tiles by this
+        value, which is what makes a mutated network an automatic cache
+        miss.  Computed once per network and cached like :attr:`coords`.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(
+                np.array([self.noise, self.beta, self.alpha], dtype=float).tobytes()
+            )
+            digest.update(self.coords.tobytes())
+            digest.update(self.powers_array().tobytes())
+            cached = digest.hexdigest()
+            self.__dict__["_fingerprint"] = cached
         return cached
 
     def is_uniform_power(self) -> bool:

@@ -1,0 +1,233 @@
+"""The thread-safe LRU tile store behind cached rasterisation.
+
+:class:`TileCache` maps :data:`~repro.raster.tiles.TileKey` tuples to
+computed :class:`~repro.raster.tiles.Tile` payloads under a configurable
+byte budget, evicting least-recently-used tiles when the budget is
+exceeded.  It is safe to share one cache between threads (and hence between
+the event-loop executor threads of the service's raster endpoint): lookups
+and insertions are serialised by a lock, while tile *computation* happens
+outside it.  Concurrent requests for the same missing tile are
+single-flighted — one caller computes, the others wait for the result —
+so a burst of overlapping zoom/pan requests never computes a tile twice.
+
+Statistics (:class:`CacheStats`) count hits, misses, evictions and
+rejections (tiles larger than the whole budget, which are computed but
+never stored), plus the resident tile count and byte total.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..exceptions import RasterCacheError
+
+__all__ = [
+    "CacheStats",
+    "TileCache",
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_TILE_SIZE",
+    "default_cache",
+    "resolve_cache",
+]
+
+#: Default byte budget: enough for a few dozen 64-pixel tiles of a
+#: 50-station network (one such tile is ~1.7 MB of SINR values).
+DEFAULT_MAX_BYTES = 256 * 2**20
+
+#: Default tile side length, in pixels.  Small enough that a request only
+#: over-computes a thin margin beyond its box, large enough that the
+#: per-tile engine call still amortises its dispatch overhead.
+DEFAULT_TILE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent snapshot of one :class:`TileCache`'s counters.
+
+    Attributes:
+        hits: lookups answered from the store (including callers that
+            waited on another thread's in-flight computation).
+        misses: lookups that had to compute the tile.
+        evictions: tiles dropped to get back under the byte budget.
+        rejected: computed tiles never stored because they alone exceed
+            the whole budget.
+        tiles: tiles currently resident.
+        stored_bytes: bytes currently resident.
+        max_bytes: the configured byte budget.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    rejected: int
+    tiles: int
+    stored_bytes: int
+    max_bytes: int
+
+    @property
+    def requests(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 when idle)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class TileCache:
+    """A byte-budgeted, thread-safe LRU cache of raster tiles.
+
+    Args:
+        max_bytes: byte budget for resident tiles; least-recently-used
+            tiles are evicted when an insertion exceeds it.
+        tile_size: side length of every tile, in pixels.  Part of every
+            tile key (two caches with different tile sizes never share
+            entries), exposed here so the assembly code and the keys always
+            agree.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        tile_size: int = DEFAULT_TILE_SIZE,
+    ):
+        if max_bytes <= 0:
+            raise RasterCacheError(
+                f"the tile-cache byte budget must be positive, got {max_bytes}"
+            )
+        if tile_size < 1:
+            raise RasterCacheError(
+                f"the tile size must be at least 1 pixel, got {tile_size}"
+            )
+        self.max_bytes = int(max_bytes)
+        self.tile_size = int(tile_size)
+        self._lock = threading.Lock()
+        self._store: "OrderedDict[tuple, object]" = OrderedDict()
+        self._in_flight: Dict[tuple, threading.Event] = {}
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._rejected = 0
+
+    # -- lookup ----------------------------------------------------------
+    def get_or_compute(self, key: tuple, factory: Callable[[], object]):
+        """The tile under ``key``, computing it with ``factory`` on a miss.
+
+        Concurrent misses of the same key are single-flighted: exactly one
+        caller runs ``factory`` (outside the lock), the rest wait and then
+        re-check the store.  If the computed tile was rejected or already
+        evicted by the time a waiter wakes (pathologically small budgets),
+        the waiter simply computes its own copy — correctness never depends
+        on residency.
+        """
+        while True:
+            with self._lock:
+                tile = self._store.get(key)
+                if tile is not None:
+                    self._store.move_to_end(key)
+                    self._hits += 1
+                    return tile
+                event = self._in_flight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._in_flight[key] = event
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                event.wait()
+                with self._lock:
+                    tile = self._store.get(key)
+                    if tile is not None:
+                        self._store.move_to_end(key)
+                        self._hits += 1
+                        return tile
+                # Rejected / evicted / failed before we woke: compute our own.
+                continue
+            try:
+                tile = factory()
+            except BaseException:
+                # Wake waiters so nobody blocks forever; they re-check the
+                # store, find nothing, and retry the computation themselves.
+                with self._lock:
+                    self._in_flight.pop(key, None)
+                event.set()
+                raise
+            with self._lock:
+                self._misses += 1
+                self._insert(key, tile)
+                self._in_flight.pop(key, None)
+            event.set()
+            return tile
+
+    def _insert(self, key: tuple, tile) -> None:
+        """Store ``tile`` and evict LRU entries back under budget (locked)."""
+        nbytes = tile.nbytes
+        if nbytes > self.max_bytes:
+            self._rejected += 1
+            return
+        previous = self._store.pop(key, None)
+        if previous is not None:
+            self._bytes -= previous.nbytes
+        self._store[key] = tile
+        self._bytes += nbytes
+        while self._bytes > self.max_bytes:
+            old_key, old_tile = self._store.popitem(last=False)
+            self._bytes -= old_tile.nbytes
+            self._evictions += 1
+
+    # -- introspection ---------------------------------------------------
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                rejected=self._rejected,
+                tiles=len(self._store),
+                stored_bytes=self._bytes,
+                max_bytes=self.max_bytes,
+            )
+
+    def clear(self) -> None:
+        """Drop every resident tile (counters other than bytes/tiles remain)."""
+        with self._lock:
+            self._store.clear()
+            self._bytes = 0
+
+
+# -- the process-wide default cache --------------------------------------
+_default_cache: Optional[TileCache] = None
+_default_cache_lock = threading.Lock()
+
+
+def default_cache() -> TileCache:
+    """The process-wide default :class:`TileCache` (created on first use).
+
+    This is the cache ``rasterize(..., cache=True)`` uses; long-lived
+    deployments that want a different budget should build their own
+    :class:`TileCache` and pass it explicitly.
+    """
+    global _default_cache
+    with _default_cache_lock:
+        if _default_cache is None:
+            _default_cache = TileCache()
+        return _default_cache
+
+
+def resolve_cache(cache) -> TileCache:
+    """Normalise a ``cache=`` argument: ``True`` means the process default."""
+    if cache is True:
+        return default_cache()
+    if isinstance(cache, TileCache):
+        return cache
+    raise RasterCacheError(
+        "cache must be a repro.raster.TileCache or True (the process "
+        f"default), got {cache!r}"
+    )

@@ -1,0 +1,176 @@
+"""Tile decomposition and assembly on the global raster lattice.
+
+A rasterisation request is a pair of :class:`~repro.model.diagram.RasterLattice`
+axes (pitch, phase, global start index, pixel count).  This module maps the
+request onto the global tile lattice — square blocks of ``tile_size`` pixels
+anchored at global pixel index 0 — fetches each covering tile from a
+:class:`~repro.raster.cache.TileCache` (computing only the missing ones
+through the active engine backend), and assembles the requested
+:class:`~repro.model.diagram.RasterDiagram` from the tile slices.
+
+Bit-identity with the monolithic path is structural, not approximate:
+
+* tile pixel-centre coordinates come from the *same* lattice formula
+  (``phase + (g + 0.5) * pitch`` over global indices ``g``) the monolithic
+  rasteriser uses, so they are bit-identical floats;
+* :func:`~repro.model.diagram.raster_block` computes every per-pixel
+  quantity independently per pixel, so evaluating a tile's sub-grid yields
+  exactly the values the full grid would.
+
+Tile keys are ``(network fingerprint, engine backend, tile size, pitch and
+phase per axis, tile index)``: everything the tile's content depends on
+(registered backends agree only to floating-point tolerance, so tiles are
+never shared across backends).  Two boxes whose origins sit on the same
+pitch lattice share phase ``0.0`` and therefore share tiles; an unaligned
+box forms its own lattice family (keyed by its phase remainder) and still
+caches perfectly against repeats of itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Tuple
+
+import numpy as np
+
+from ..engine.backend import active_backend
+from ..model.diagram import RasterDiagram, RasterLattice, raster_block
+from ..model.network import WirelessNetwork
+from .cache import TileCache
+
+__all__ = ["Tile", "TileKey", "tile_key", "compute_tile", "rasterize_tiled"]
+
+#: The full cache key of one tile: ``(network fingerprint, backend, tile
+#: size, pitch_x, phase_x, pitch_y, phase_y, tile_x, tile_y)``.  The
+#: *backend object* is part of the key because registered backends agree
+#: only to floating-point tolerance, not bitwise: a tile computed under
+#: ``numpy`` must never answer a request made under ``reference`` (or the
+#: bit-identity contract — and seam-freeness within one raster — breaks).
+TileKey = Tuple[str, object, int, float, float, float, float, int, int]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One cached ``tile_size`` x ``tile_size`` block of a rasterisation.
+
+    Attributes:
+        labels: ``(tile_size, tile_size)`` integer labels (station index or
+            ``NO_RECEPTION``), read-only.
+        sinr_values: ``(n_stations, tile_size, tile_size)`` float SINR
+            values, read-only.
+    """
+
+    labels: np.ndarray
+    sinr_values: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        """Resident size, used against the cache byte budget."""
+        return int(self.labels.nbytes + self.sinr_values.nbytes)
+
+
+def tile_key(
+    fingerprint: str,
+    backend,
+    tile_size: int,
+    lattice_x: RasterLattice,
+    lattice_y: RasterLattice,
+    tile_x: int,
+    tile_y: int,
+) -> TileKey:
+    """The cache key of tile ``(tile_x, tile_y)`` on the given lattice pair."""
+    return (
+        fingerprint,
+        backend,
+        tile_size,
+        lattice_x.pitch,
+        lattice_x.phase,
+        lattice_y.pitch,
+        lattice_y.phase,
+        tile_x,
+        tile_y,
+    )
+
+
+def compute_tile(
+    network: WirelessNetwork,
+    lattice_x: RasterLattice,
+    lattice_y: RasterLattice,
+    tile_x: int,
+    tile_y: int,
+    tile_size: int,
+    backend=None,
+) -> Tile:
+    """Compute one tile through ``backend`` (default: the active backend)."""
+    xs = lattice_x.centers_at(tile_x * tile_size, tile_size)
+    ys = lattice_y.centers_at(tile_y * tile_size, tile_size)
+    labels, sinr_values = raster_block(network, xs, ys, backend=backend)
+    labels.setflags(write=False)
+    sinr_values.setflags(write=False)
+    return Tile(labels=labels, sinr_values=sinr_values)
+
+
+def rasterize_tiled(
+    network: WirelessNetwork,
+    lattice_x: RasterLattice,
+    lattice_y: RasterLattice,
+    cache: TileCache,
+) -> RasterDiagram:
+    """Assemble a raster from cached lattice tiles (computing missing ones).
+
+    The public entry point is ``SINRDiagram.rasterize(..., cache=...)``,
+    which builds the lattices; this function fetches every tile covering
+    ``[lattice_x.start, lattice_x.stop) x [lattice_y.start, lattice_y.stop)``
+    via :meth:`TileCache.get_or_compute` and copies the overlapping slices
+    into the result arrays.  The returned diagram is bit-identical to the
+    monolithic path on the same box.
+    """
+    size = cache.tile_size
+    fingerprint = network.fingerprint
+    # Pinned once per request: every tile of this raster — cached or
+    # computed — belongs to the same backend, so a backend switch mid-burst
+    # can never stitch a seam through one assembled diagram.
+    backend = active_backend()
+    columns, rows = lattice_x.count, lattice_y.count
+    gx0, gy0 = lattice_x.start, lattice_y.start
+
+    labels = np.empty((rows, columns), dtype=np.intp)
+    sinr_values = np.empty((len(network), rows, columns), dtype=float)
+
+    first_tile_x = gx0 // size
+    last_tile_x = (lattice_x.stop - 1) // size
+    first_tile_y = gy0 // size
+    last_tile_y = (lattice_y.stop - 1) // size
+    for tile_y in range(first_tile_y, last_tile_y + 1):
+        for tile_x in range(first_tile_x, last_tile_x + 1):
+            key = tile_key(
+                fingerprint, backend, size, lattice_x, lattice_y, tile_x, tile_y
+            )
+            tile = cache.get_or_compute(
+                key,
+                partial(
+                    compute_tile,
+                    network, lattice_x, lattice_y, tile_x, tile_y, size,
+                    backend,
+                ),
+            )
+            # Overlap of this tile with the request, in global pixel indices.
+            overlap_x0 = max(gx0, tile_x * size)
+            overlap_x1 = min(lattice_x.stop, (tile_x + 1) * size)
+            overlap_y0 = max(gy0, tile_y * size)
+            overlap_y1 = min(lattice_y.stop, (tile_y + 1) * size)
+            out_cols = slice(overlap_x0 - gx0, overlap_x1 - gx0)
+            out_rows = slice(overlap_y0 - gy0, overlap_y1 - gy0)
+            in_cols = slice(overlap_x0 - tile_x * size, overlap_x1 - tile_x * size)
+            in_rows = slice(overlap_y0 - tile_y * size, overlap_y1 - tile_y * size)
+            labels[out_rows, out_cols] = tile.labels[in_rows, in_cols]
+            sinr_values[:, out_rows, out_cols] = tile.sinr_values[:, in_rows, in_cols]
+
+    return RasterDiagram(
+        xs=lattice_x.centers(),
+        ys=lattice_y.centers(),
+        labels=labels,
+        sinr_values=sinr_values,
+        pitch=(lattice_x.pitch, lattice_y.pitch),
+    )

@@ -29,6 +29,11 @@ The pieces
 :func:`serve_points`
     Sync facade for scripts: serve an ``(m, 2)`` array through a temporary
     service and return the ``int64`` answers.
+:class:`RasterService`
+    The raster endpoint: ``SINRDiagram.rasterize`` requests served through
+    a shared :class:`repro.raster.TileCache` on executor threads, so
+    concurrent zoom/pan clients reuse each other's tiles (responses stay
+    bit-identical to the uncached rasteriser).
 
 Backend / service matrix
 ========================
@@ -69,6 +74,7 @@ from .batcher import (
     DEFAULT_MAX_PENDING,
     MicroBatcher,
 )
+from .raster import RasterService
 from .service import LocatorRouter, QueryService, serve_points
 from .stats import ServiceStats, StatsSnapshot
 
@@ -79,6 +85,7 @@ __all__ = [
     "LocatorRouter",
     "MicroBatcher",
     "QueryService",
+    "RasterService",
     "ServiceStats",
     "StatsSnapshot",
     "serve_points",

@@ -5,9 +5,17 @@ from __future__ import annotations
 import math
 import random
 
+import numpy as np
 import pytest
 
-from repro import NO_RECEPTION, Point, ReceptionZone, SINRDiagram, WirelessNetwork
+from repro import (
+    NO_RECEPTION,
+    Point,
+    RasterDiagram,
+    ReceptionZone,
+    SINRDiagram,
+    WirelessNetwork,
+)
 from repro.exceptions import DiagramError, NetworkConfigurationError
 
 
@@ -144,6 +152,78 @@ class TestSINRDiagram:
     def test_raster_label_at(self, noisy_diagram):
         raster = noisy_diagram.rasterize(Point(-5, -5), Point(8, 8), resolution=80)
         assert raster.label_at(Point(0.0, 0.2)) == 0
+
+    def test_raster_label_at_nearest_centre(self, noisy_diagram):
+        """Points just above/below a pixel centre map to that centre.
+
+        The old searchsorted-on-centres lookup returned the next pixel
+        at-or-above the coordinate, so a point epsilon right of a centre
+        mapped one column too far.
+        """
+        raster = noisy_diagram.rasterize(Point(-5, -5), Point(8, 8), resolution=80)
+        dx = raster.xs[1] - raster.xs[0]
+        dy = raster.ys[1] - raster.ys[0]
+        for column in (0, 1, 37, len(raster.xs) - 1):
+            for row in (0, 2, 41, len(raster.ys) - 1):
+                centre = Point(raster.xs[column], raster.ys[row])
+                expected = int(raster.labels[row, column])
+                for nudge_x in (-0.4 * dx, 0.0, 0.4 * dx):
+                    for nudge_y in (-0.4 * dy, 0.0, 0.4 * dy):
+                        probe = Point(centre.x + nudge_x, centre.y + nudge_y)
+                        assert raster.label_at(probe) == expected, (
+                            column, row, nudge_x, nudge_y,
+                        )
+
+    def test_raster_label_at_outside_box_clamps_to_edge(self, noisy_diagram):
+        raster = noisy_diagram.rasterize(Point(-5, -5), Point(8, 8), resolution=40)
+        assert raster.label_at(Point(-50.0, -50.0)) == int(raster.labels[0, 0])
+        assert raster.label_at(Point(50.0, 50.0)) == int(raster.labels[-1, -1])
+        assert raster.label_at(Point(-50.0, 0.0)) == raster.label_at(
+            Point(raster.xs[0], 0.0)
+        )
+
+    def test_raster_pixels_tile_the_box_exactly(self, noisy_diagram):
+        """Cell-centre sampling: labels.size * pixel_area() == box area.
+
+        Endpoint sampling (the old behaviour) over-counted the box area by
+        ~(1 + 1/(cols-1)) * (1 + 1/(rows-1)) and biased every zone_area.
+        """
+        boxes = [
+            (Point(-5.0, -5.0), Point(8.0, 8.0), 200),
+            (Point(-5.0, -5.0), Point(8.0, 8.0), 2),
+            (Point(-1.3, 0.7), Point(2.9, 1.1), 57),
+            (Point(0.0, 0.0), Point(1.0, 10.0), 30),
+        ]
+        for lower_left, upper_right, resolution in boxes:
+            raster = noisy_diagram.rasterize(
+                lower_left, upper_right, resolution=resolution
+            )
+            box_area = (upper_right.x - lower_left.x) * (upper_right.y - lower_left.y)
+            assert raster.labels.size * raster.pixel_area() == pytest.approx(
+                box_area, rel=1e-12
+            )
+            # Centres are inset half a pixel from every box edge.
+            dx, dy = raster.pitch
+            assert raster.xs[0] == pytest.approx(lower_left.x + dx / 2, rel=1e-12)
+            assert raster.xs[-1] == pytest.approx(upper_right.x - dx / 2, rel=1e-12)
+            assert raster.ys[0] == pytest.approx(lower_left.y + dy / 2, rel=1e-12)
+            assert raster.ys[-1] == pytest.approx(upper_right.y - dy / 2, rel=1e-12)
+
+    def test_pixel_area_degenerate_raster(self):
+        """A single-row/column raster must not silently zero zone areas."""
+        xs = np.array([0.5])
+        ys = np.array([0.5, 1.5, 2.5])
+        labels = np.zeros((3, 1), dtype=np.intp)
+        sinr = np.zeros((2, 3, 1))
+        degenerate = RasterDiagram(xs=xs, ys=ys, labels=labels, sinr_values=sinr)
+        with pytest.raises(DiagramError):
+            degenerate.pixel_area()
+        # With an explicit pitch the cell extent is known and the area is real.
+        pitched = RasterDiagram(
+            xs=xs, ys=ys, labels=labels, sinr_values=sinr, pitch=(1.0, 1.0)
+        )
+        assert pitched.pixel_area() == 1.0
+        assert pitched.zone_area(0) == 3.0
 
     def test_default_bounding_box_contains_all_stations(self, noisy_diagram, noisy_network):
         lower_left, upper_right = noisy_diagram.default_bounding_box()

@@ -1,0 +1,440 @@
+"""The raster tile cache: bit-identity, budgets, stats, fingerprints, serving.
+
+The subsystem's one non-negotiable contract is that caching never changes a
+bit of output: every test that rasterises through a cache compares
+``labels`` *and* ``sinr_values`` against the monolithic path with exact
+array equality, across random boxes, resolutions, tile sizes, evicting
+budgets and concurrent threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import Point, SINRDiagram, TileCache, WirelessNetwork
+from repro.exceptions import RasterCacheError, ServiceError
+from repro.model.diagram import RasterLattice
+from repro.raster import default_cache
+from repro.service import RasterService
+
+
+@pytest.fixture
+def diagram(noisy_network) -> SINRDiagram:
+    return SINRDiagram(noisy_network)
+
+
+def assert_rasters_identical(expected, actual):
+    """Bitwise equality of every payload array plus the lattice metadata."""
+    np.testing.assert_array_equal(expected.labels, actual.labels)
+    np.testing.assert_array_equal(expected.sinr_values, actual.sinr_values)
+    np.testing.assert_array_equal(expected.xs, actual.xs)
+    np.testing.assert_array_equal(expected.ys, actual.ys)
+    assert expected.labels.dtype == actual.labels.dtype
+    assert expected.pitch == actual.pitch
+
+
+# ----------------------------------------------------------------------
+# The lattice
+# ----------------------------------------------------------------------
+class TestRasterLattice:
+    def test_aligned_origin_snaps_to_world_lattice(self):
+        lattice = RasterLattice.build(-8.0, 16.0, 128)
+        assert lattice.phase == 0.0
+        assert lattice.start == -64
+        assert lattice.count == 128
+        assert lattice.pitch == 0.125
+
+    def test_unaligned_origin_keeps_phase_remainder(self):
+        lattice = RasterLattice.build(-8.3, 16.0, 128)
+        assert 0.0 < lattice.phase < lattice.pitch
+        centres = lattice.centers()
+        assert centres[0] == pytest.approx(-8.3 + lattice.pitch / 2, rel=1e-12)
+
+    def test_tile_coordinates_are_slices_of_request_coordinates(self):
+        """The heart of bit-identity: same formula, any sub-range."""
+        for origin in (-8.0, -8.3, 3.7, 1e6):
+            lattice = RasterLattice.build(origin, 16.0, 96)
+            full = lattice.centers()
+            for start, count in [(0, 96), (10, 20), (95, 1)]:
+                part = lattice.centers_at(lattice.start + start, count)
+                np.testing.assert_array_equal(full[start : start + count], part)
+
+    def test_overlapping_aligned_boxes_share_global_indices(self):
+        base = RasterLattice.build(-8.0, 16.0, 128)
+        zoom = RasterLattice.build(-4.0, 8.0, 64)
+        assert zoom.pitch == base.pitch and zoom.phase == base.phase
+        np.testing.assert_array_equal(
+            base.centers()[32:96], zoom.centers()
+        )
+
+
+# ----------------------------------------------------------------------
+# Bit-identity of the tiled path
+# ----------------------------------------------------------------------
+class TestTiledBitIdentity:
+    @pytest.mark.parametrize("tile_size", [7, 16, 64])
+    def test_random_boxes_and_resolutions(self, diagram, seeded_rng, tile_size):
+        cache = TileCache(tile_size=tile_size)
+        for _ in range(6):
+            x0, y0 = seeded_rng.uniform(-9.0, 3.0, size=2)
+            width, height = seeded_rng.uniform(1.0, 12.0, size=2)
+            resolution = int(seeded_rng.integers(2, 48))
+            lower_left, upper_right = Point(x0, y0), Point(x0 + width, y0 + height)
+            direct = diagram.rasterize(lower_left, upper_right, resolution)
+            cached = diagram.rasterize(
+                lower_left, upper_right, resolution, cache=cache
+            )
+            assert_rasters_identical(direct, cached)
+            # And again, now served (at least partly) from the store.
+            again = diagram.rasterize(
+                lower_left, upper_right, resolution, cache=cache
+            )
+            assert_rasters_identical(direct, again)
+        assert cache.stats().hits > 0
+
+    def test_eviction_under_a_tiny_budget_stays_identical(self, diagram):
+        box = (Point(-6.0, -6.0), Point(6.0, 6.0))
+        probe = TileCache(tile_size=16)
+        direct = diagram.rasterize(*box, 64)
+        diagram.rasterize(*box, 64, cache=probe)
+        tile_bytes = probe.stats().stored_bytes // probe.stats().tiles
+
+        cache = TileCache(max_bytes=3 * tile_bytes, tile_size=16)
+        for _ in range(3):
+            cached = diagram.rasterize(*box, 64, cache=cache)
+            assert_rasters_identical(direct, cached)
+        stats = cache.stats()
+        assert stats.evictions > 0
+        assert stats.tiles <= 3
+        assert stats.stored_bytes <= cache.max_bytes
+
+    def test_oversized_tiles_are_rejected_not_stored(self, diagram):
+        cache = TileCache(max_bytes=64, tile_size=16)
+        direct = diagram.rasterize(Point(-4, -4), Point(4, 4), 32)
+        cached = diagram.rasterize(Point(-4, -4), Point(4, 4), 32, cache=cache)
+        assert_rasters_identical(direct, cached)
+        stats = cache.stats()
+        assert stats.rejected == stats.misses > 0
+        assert stats.tiles == 0 and stats.stored_bytes == 0
+
+    def test_unaligned_box_caches_against_repeats_of_itself(self, diagram):
+        cache = TileCache(tile_size=16)
+        box = (Point(-5.37, -4.91), Point(6.13, 7.03))
+        direct = diagram.rasterize(*box, 48)
+        diagram.rasterize(*box, 48, cache=cache)
+        misses = cache.stats().misses
+        again = diagram.rasterize(*box, 48, cache=cache)
+        assert_rasters_identical(direct, again)
+        stats = cache.stats()
+        assert stats.misses == misses
+        assert stats.hits == misses
+
+    def test_summary_through_cache_matches_uncached(self, diagram):
+        cache = TileCache(tile_size=32)
+        uncached = diagram.summary(resolution=60)
+        cached = diagram.summary(resolution=60, cache=cache)
+        assert cached["zone_areas"] == uncached["zone_areas"]
+        assert cached["coverage_fraction"] == uncached["coverage_fraction"]
+        assert cache.stats().misses > 0
+        # A repeated summary recomputes no tiles at all.
+        misses = cache.stats().misses
+        diagram.summary(resolution=60, cache=cache)
+        assert cache.stats().misses == misses
+
+
+# ----------------------------------------------------------------------
+# Cache bookkeeping
+# ----------------------------------------------------------------------
+class TestCacheStats:
+    def test_cold_pass_misses_then_warm_pass_hits(self, diagram):
+        cache = TileCache(tile_size=32)
+        box = (Point(-8.0, -8.0), Point(8.0, 8.0))
+        diagram.rasterize(*box, 128, cache=cache)
+        cold = cache.stats()
+        # 128 px at pitch 0.125 spanning [-64, 64) -> a 4x4 block of tiles.
+        assert cold.misses == 16 and cold.hits == 0
+        assert cold.tiles == 16 and cold.stored_bytes > 0
+        diagram.rasterize(*box, 128, cache=cache)
+        warm = cache.stats()
+        assert warm.misses == 16 and warm.hits == 16
+        assert warm.hit_rate == 0.5
+        assert warm.requests == 32
+
+    def test_overlapping_zoom_and_pan_reuse_tiles(self, diagram):
+        cache = TileCache(tile_size=32)
+        diagram.rasterize(Point(-8, -8), Point(8, 8), 128, cache=cache)
+        misses = cache.stats().misses
+        # Zoom and pan boxes sit on the same world lattice: all hits.
+        diagram.rasterize(Point(-4, -4), Point(4, 4), 64, cache=cache)
+        diagram.rasterize(Point(0, -8), Point(8, 0), 64, cache=cache)
+        stats = cache.stats()
+        assert stats.misses == misses
+        assert stats.hits == 4 + 4
+
+    def test_clear_drops_tiles_but_not_counters(self, diagram):
+        cache = TileCache(tile_size=32)
+        diagram.rasterize(Point(-4, -4), Point(4, 4), 64, cache=cache)
+        assert cache.stats().tiles > 0
+        cache.clear()
+        stats = cache.stats()
+        assert stats.tiles == 0 and stats.stored_bytes == 0
+        assert stats.misses > 0
+
+    def test_validation(self):
+        with pytest.raises(RasterCacheError):
+            TileCache(max_bytes=0)
+        with pytest.raises(RasterCacheError):
+            TileCache(tile_size=0)
+
+    def test_cache_argument_validation(self, diagram):
+        with pytest.raises(RasterCacheError):
+            diagram.rasterize(Point(-4, -4), Point(4, 4), 32, cache=123)
+
+    def test_cache_true_uses_the_process_default(self, diagram):
+        default_cache().clear()
+        try:
+            first = diagram.rasterize(Point(-4, -4), Point(4, 4), 64, cache=True)
+            before = default_cache().stats()
+            again = diagram.rasterize(Point(-4, -4), Point(4, 4), 64, cache=True)
+            assert_rasters_identical(first, again)
+            assert default_cache().stats().hits >= before.hits + before.tiles
+        finally:
+            default_cache().clear()
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+class TestNetworkFingerprint:
+    def test_content_identical_networks_share_a_fingerprint(self):
+        first = WirelessNetwork.uniform([(0, 0), (4, 0)], noise=0.01, beta=2.0)
+        second = WirelessNetwork.uniform([(0, 0), (4, 0)], noise=0.01, beta=2.0)
+        assert first is not second
+        assert first.fingerprint == second.fingerprint
+
+    def test_every_reception_parameter_changes_it(self, noisy_network):
+        base = noisy_network.fingerprint
+        assert noisy_network.with_noise(0.02).fingerprint != base
+        assert noisy_network.with_beta(2.5).fingerprint != base
+        assert noisy_network.with_station_moved(0, Point(0.1, 0.0)).fingerprint != base
+        assert noisy_network.without_station(1).fingerprint != base
+
+    def test_backend_switch_never_serves_another_backends_tiles(
+        self, noisy_network
+    ):
+        """Backends agree only to float tolerance: tiles must not cross them."""
+        from repro.engine import use_backend
+
+        diagram = SINRDiagram(noisy_network)
+        cache = TileCache(tile_size=8)
+        box = (Point(-2.0, -2.0), Point(2.0, 2.0))
+        diagram.rasterize(*box, 16, cache=cache)
+        numpy_misses = cache.stats().misses
+
+        with use_backend("reference"):
+            direct = diagram.rasterize(*box, 16)
+            cached = diagram.rasterize(*box, 16, cache=cache)
+        assert_rasters_identical(direct, cached)
+        stats = cache.stats()
+        # The reference-backend request computed its own tiles from scratch.
+        assert stats.misses == 2 * numpy_misses
+        assert stats.hits == 0
+
+    def test_one_request_is_computed_under_one_pinned_backend(
+        self, noisy_network
+    ):
+        """No seams: a request started under a backend finishes under it."""
+        from repro.engine import use_backend
+        from repro.engine.backend import get_backend, register_backend
+
+        class CountingBackend:
+            name = "counting"
+
+            def __init__(self, inner):
+                self._inner = inner
+                self.calls = 0
+
+            def __getattr__(self, attribute):
+                return getattr(self._inner, attribute)
+
+            def sinr_matrix(self, *args, **kwargs):
+                self.calls += 1
+                return self._inner.sinr_matrix(*args, **kwargs)
+
+        counting = CountingBackend(get_backend("numpy"))
+        register_backend("counting", counting)
+        diagram = SINRDiagram(noisy_network)
+        cache = TileCache(tile_size=8)
+        with use_backend("counting"):
+            raster = diagram.rasterize(Point(-2, -2), Point(2, 2), 16, cache=cache)
+        assert counting.calls == cache.stats().misses > 0
+        direct = diagram.rasterize(Point(-2, -2), Point(2, 2), 16)
+        assert_rasters_identical(direct, raster)
+
+    def test_mutated_network_is_a_cache_miss(self, noisy_network):
+        cache = TileCache(tile_size=32)
+        box = (Point(-4.0, -4.0), Point(4.0, 4.0))
+        SINRDiagram(noisy_network).rasterize(*box, 64, cache=cache)
+        cold = cache.stats()
+        assert cold.hits == 0
+
+        moved = noisy_network.with_station_moved(0, Point(0.5, 0.5))
+        direct = SINRDiagram(moved).rasterize(*box, 64)
+        cached = SINRDiagram(moved).rasterize(*box, 64, cache=cache)
+        assert_rasters_identical(direct, cached)
+        stats = cache.stats()
+        # Same box, same lattice — but not one stale tile was served.
+        assert stats.hits == 0
+        assert stats.misses == 2 * cold.misses
+
+
+# ----------------------------------------------------------------------
+# Concurrency
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    def test_threaded_overlapping_requests_are_identical(self, ten_station_network):
+        diagram = SINRDiagram(ten_station_network)
+        cache = TileCache(tile_size=32)
+        boxes = [
+            (Point(-8.0, -8.0), Point(8.0, 8.0), 128),
+            (Point(-4.0, -4.0), Point(4.0, 4.0), 64),
+            (Point(0.0, 0.0), Point(8.0, 8.0), 64),
+            (Point(-8.0, 0.0), Point(0.0, 8.0), 64),
+        ]
+        expected = {
+            id(box): diagram.rasterize(box[0], box[1], box[2]) for box in boxes
+        }
+
+        def serve(box):
+            return id(box), diagram.rasterize(box[0], box[1], box[2], cache=cache)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(serve, boxes * 6))
+        for key, raster in results:
+            assert_rasters_identical(expected[key], raster)
+
+        stats = cache.stats()
+        # 24 requests, but only the base box's 16 distinct tiles computed
+        # (single-flight keeps concurrent duplicate misses from recomputing).
+        assert stats.misses >= 16
+        assert stats.hits + stats.misses == sum(
+            16 if box[2] == 128 else 4 for box in boxes
+        ) * 6
+
+    def test_threaded_eviction_churn_stays_identical(self, diagram):
+        box = (Point(-6.0, -6.0), Point(6.0, 6.0))
+        probe = TileCache(tile_size=16)
+        direct = diagram.rasterize(*box, 64)
+        diagram.rasterize(*box, 64, cache=probe)
+        tile_bytes = probe.stats().stored_bytes // probe.stats().tiles
+        cache = TileCache(max_bytes=2 * tile_bytes, tile_size=16)
+
+        def serve(_):
+            return diagram.rasterize(*box, 64, cache=cache)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(pool.map(serve, range(12)))
+        for raster in results:
+            assert_rasters_identical(direct, raster)
+        assert cache.stats().evictions > 0
+        assert cache.stats().stored_bytes <= cache.max_bytes
+
+
+# ----------------------------------------------------------------------
+# The service raster endpoint
+# ----------------------------------------------------------------------
+class TestRasterService:
+    def test_concurrent_zoom_pan_traffic(self, ten_station_network):
+        service = RasterService(ten_station_network, tile_size=32)
+        diagram = SINRDiagram(ten_station_network)
+        boxes = [
+            (Point(-8.0, -8.0), Point(8.0, 8.0), 128),
+            (Point(-4.0, -4.0), Point(4.0, 4.0), 64),
+            (Point(0.0, -8.0), Point(8.0, 0.0), 64),
+        ]
+
+        async def drive():
+            return await asyncio.gather(
+                *(service.rasterize(a, b, res) for a, b, res in boxes * 4)
+            )
+
+        rasters = asyncio.run(drive())
+        for (a, b, res), raster in zip(boxes * 4, rasters):
+            assert_rasters_identical(diagram.rasterize(a, b, res), raster)
+        stats = service.cache_stats()
+        # Twelve requests over the base box's 16 tiles: everything beyond
+        # the first computation of each tile was served from the cache.
+        assert stats.misses == 16
+        assert stats.hits == 4 * (16 + 4 + 4) - 16
+
+    def test_summary_endpoint_matches_direct(self, ten_station_network):
+        service = RasterService(ten_station_network, tile_size=32)
+        summary = asyncio.run(service.summary(resolution=60))
+        direct = SINRDiagram(ten_station_network).summary(resolution=60)
+        assert summary["zone_areas"] == direct["zone_areas"]
+        assert service.cache_stats().misses > 0
+
+    def test_shared_cache_and_bounded_concurrency(self, ten_station_network):
+        shared = TileCache(tile_size=32)
+        service = RasterService(
+            ten_station_network, cache=shared, max_concurrency=2
+        )
+        box = (Point(-4.0, -4.0), Point(4.0, 4.0), 64)
+
+        async def drive():
+            return await asyncio.gather(
+                *(service.rasterize(*box) for _ in range(8))
+            )
+
+        rasters = asyncio.run(drive())
+        direct = SINRDiagram(ten_station_network).rasterize(*box)
+        for raster in rasters:
+            assert_rasters_identical(direct, raster)
+        assert shared.stats().misses == 4
+
+    def test_bounded_service_survives_multiple_event_loops(
+        self, ten_station_network
+    ):
+        """The concurrency semaphore must bind per loop, not per service."""
+        service = RasterService(
+            ten_station_network, tile_size=32, max_concurrency=1
+        )
+        box = (Point(-4.0, -4.0), Point(4.0, 4.0), 64)
+
+        async def drive():
+            rasters = await asyncio.gather(
+                *(service.rasterize(*box) for _ in range(3))
+            )
+            summary = await service.summary(resolution=40)
+            return rasters, summary
+
+        first, _ = asyncio.run(drive())
+        second, summary = asyncio.run(drive())  # a fresh event loop
+        direct = SINRDiagram(ten_station_network).rasterize(*box)
+        for raster in (*first, *second):
+            assert_rasters_identical(direct, raster)
+        assert "zone_areas" in summary
+
+    def test_configuration_validation(self, ten_station_network):
+        with pytest.raises(ServiceError):
+            RasterService(
+                ten_station_network, cache=TileCache(), max_bytes=1024
+            )
+        with pytest.raises(ServiceError):
+            RasterService(ten_station_network, max_concurrency=0)
+
+
+# ----------------------------------------------------------------------
+# The experiment harness entry
+# ----------------------------------------------------------------------
+def test_raster_cache_experiment_reproduces():
+    from repro.analysis import run_raster_cache
+
+    result = run_raster_cache(resolution=64)
+    assert result.reproduced, result.measured
+    assert result.details["identical"]
+    assert result.details["hits"] > 0
