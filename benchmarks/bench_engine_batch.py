@@ -11,7 +11,9 @@ deployment, 10k query points) for the three query families:
   and the Theorem 3 grid structure,
 
 plus a backend-comparison section timing the same bulk workload through
-every production backend (numpy, multiprocess, and numba when installed).
+every production backend (numpy, multiprocess, float32-screen, and
+numba/gpu when installed); its per-backend q/s land in ``BENCH_engine.json``
+via :mod:`persist`.
 
 Set ``REPRO_BENCH_QUICK=1`` to shrink the workload (CI smoke mode), and
 ``REPRO_BENCH_MIN_SPEEDUP=<float>`` to override the batch-over-scalar
@@ -26,8 +28,10 @@ import time
 import numpy as np
 import pytest
 
+from persist import record_benchmark
 from repro import Point, SINRDiagram
 from repro.engine import (
+    GPU_AVAILABLE,
     NUMBA_AVAILABLE,
     MultiprocessBackend,
     heard_station_batch,
@@ -202,7 +206,11 @@ def test_backend_comparison(workload):
     backends["multiprocess"] = pool
     if NUMBA_AVAILABLE:
         backends["numba"] = "numba"
+    backends["float32-screen"] = "float32-screen"
+    if GPU_AVAILABLE:
+        backends["gpu"] = "gpu"
 
+    recorded = {}
     try:
         expected = heard_station_batch(network, queries, backend="numpy")
         print(
@@ -223,14 +231,33 @@ def test_backend_comparison(workload):
             np.testing.assert_array_equal(
                 heard_station_batch(network, queries, backend=backend), expected
             )
+            recorded[name] = {
+                "sinr_qps": round(1.0 / sinr_seconds, 1),
+                "heard_qps": round(1.0 / heard_seconds, 1),
+            }
             print(
-                f"  {name:>12}: sinr {sinr_seconds * 1e6:8.3f} us/query "
+                f"  {name:>14}: sinr {sinr_seconds * 1e6:8.3f} us/query "
                 f"({1.0 / sinr_seconds:>12,.0f} q/s), "
                 f"heard {heard_seconds * 1e6:8.3f} us/query "
                 f"({1.0 / heard_seconds:>12,.0f} q/s)"
             )
     finally:
         pool.close()
+
+    baseline = recorded["numpy"]["heard_qps"]
+    for name, payload in recorded.items():
+        payload["heard_speedup_vs_numpy"] = round(
+            payload["heard_qps"] / baseline, 3
+        )
+    record_benchmark(
+        "engine_batch",
+        {
+            "stations": STATION_COUNT,
+            "queries": QUERY_COUNT,
+            "quick": QUICK,
+            "backends": recorded,
+        },
+    )
 
 
 @pytest.mark.paper

@@ -1,0 +1,187 @@
+"""The precision tier: float32 screen-then-verify throughput and exactness.
+
+The acceptance workload is the ISSUE's gate: 200 stations x 100k query
+points, where ``float32-screen`` must beat the numpy float64 backend by
+>= 1.5x on ``strongest_station_batch`` while staying bit-identical.  On top
+of the gate, two sweeps characterise the design space:
+
+* margin widths — a wider decision margin routes more points through the
+  exact inner backend; the sweep records the verified fraction and the
+  throughput cost per margin, and asserts exactness at every width;
+* chunk budgets — the shared ``REPRO_ENGINE_CHUNK_BYTES`` budget trades
+  peak memory against per-chunk overhead; the sweep asserts bit-identical
+  answers across budgets while recording the throughput of each.
+
+Headline numbers are persisted to ``BENCH_engine.json`` via :mod:`persist`.
+``REPRO_BENCH_QUICK=1`` shrinks the workload (CI smoke mode) and
+``REPRO_BENCH_MIN_SPEEDUP=<float>`` overrides the speedup gate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from persist import record_benchmark
+from repro import Point
+from repro.engine import (
+    GPU_AVAILABLE,
+    Float32ScreenBackend,
+    get_backend,
+    heard_station_batch,
+    strongest_station_batch,
+)
+from repro.workloads import random_query_array, uniform_random_network
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+STATION_COUNT = 40 if QUICK else 200
+QUERY_COUNT = 5_000 if QUICK else 100_000
+
+
+def _speedup_floor(default: float) -> float:
+    override = os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "")
+    return float(override) if override.strip() else default
+
+
+def _best_seconds(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def workload():
+    side = 4.0 * STATION_COUNT ** 0.5
+    network = uniform_random_network(
+        STATION_COUNT,
+        side=side,
+        minimum_separation=1.5,
+        noise=0.002,
+        beta=3.0,
+        seed=29,
+    )
+    queries = random_query_array(
+        QUERY_COUNT, Point(-4.0, -4.0), Point(side + 4.0, side + 4.0), seed=31
+    )
+    return network, queries
+
+
+@pytest.mark.paper
+def test_strongest_station_speedup_gate(workload):
+    """The acceptance gate: float32-screen >= 1.5x numpy on strongest-station.
+
+    Also times ``heard_station_batch`` for the record and re-asserts
+    bit-identical answers on the gate workload itself (the equivalence
+    property suite covers the adversarial cases).
+    """
+    network, queries = workload
+    screen = get_backend("float32-screen")
+    screen.stats.reset()
+
+    results = {}
+    for name in ("numpy", "float32-screen") + (("gpu",) if GPU_AVAILABLE else ()):
+        strongest_station_batch(network, queries[:256], backend=name)  # warm
+        strongest = _best_seconds(
+            lambda n=name: strongest_station_batch(network, queries, backend=n)
+        )
+        heard = _best_seconds(
+            lambda n=name: heard_station_batch(network, queries, backend=n)
+        )
+        results[name] = {
+            "strongest_qps": round(QUERY_COUNT / strongest, 1),
+            "heard_qps": round(QUERY_COUNT / heard, 1),
+        }
+
+    np.testing.assert_array_equal(
+        strongest_station_batch(network, queries, backend="float32-screen"),
+        strongest_station_batch(network, queries, backend="numpy"),
+    )
+    np.testing.assert_array_equal(
+        heard_station_batch(network, queries, backend="float32-screen"),
+        heard_station_batch(network, queries, backend="numpy"),
+    )
+
+    speedup = (
+        results["float32-screen"]["strongest_qps"]
+        / results["numpy"]["strongest_qps"]
+    )
+    verify_fraction = screen.stats.verify_fraction()
+    print(
+        f"\nmixed precision (stations={STATION_COUNT} queries={QUERY_COUNT}): "
+        f"strongest numpy {results['numpy']['strongest_qps']:,.0f} q/s, "
+        f"float32-screen {results['float32-screen']['strongest_qps']:,.0f} q/s "
+        f"({speedup:.2f}x), verify fraction {verify_fraction:.4f}"
+    )
+    record_benchmark(
+        "mixed_precision",
+        {
+            "stations": STATION_COUNT,
+            "queries": QUERY_COUNT,
+            "quick": QUICK,
+            "backends": results,
+            "strongest_speedup_vs_numpy": round(speedup, 3),
+            "verify_fraction": round(verify_fraction, 6),
+        },
+    )
+    # The tentpole's raison d'etre; REPRO_BENCH_MIN_SPEEDUP overrides for
+    # noisy or underpowered runners.
+    assert speedup >= _speedup_floor(1.5)
+
+
+@pytest.mark.paper
+def test_margin_width_sweep(workload):
+    """Wider margins verify more points but never change an answer."""
+    network, queries = workload
+    expected = heard_station_batch(network, queries, backend="numpy")
+    sweep = {}
+    previous_fraction = -1.0
+    for margin in (1e-5, 1e-3, 1e-1):
+        screen = Float32ScreenBackend(decision_margin=margin)
+        seconds = _best_seconds(
+            lambda b=screen: heard_station_batch(network, queries, backend=b),
+            repeats=2,
+        )
+        np.testing.assert_array_equal(
+            heard_station_batch(network, queries, backend=screen), expected
+        )
+        fraction = screen.stats.verify_fraction()
+        sweep[f"{margin:g}"] = {
+            "heard_qps": round(QUERY_COUNT / seconds, 1),
+            "verify_fraction": round(fraction, 6),
+        }
+        # Monotone by construction: a wider margin can only flag more points.
+        assert fraction >= previous_fraction
+        previous_fraction = fraction
+    print(f"\nmargin sweep: {sweep}")
+    record_benchmark("mixed_precision_margin_sweep", sweep)
+
+
+@pytest.mark.paper
+def test_chunk_budget_sweep(workload, monkeypatch):
+    """Throughput across chunk budgets; answers bit-identical at every one."""
+    network, queries = workload
+    expected = strongest_station_batch(network, queries, backend="numpy")
+    sweep = {}
+    for budget in (4 * 2**20, 64 * 2**20, 256 * 2**20):
+        monkeypatch.setenv("REPRO_ENGINE_CHUNK_BYTES", str(budget))
+        seconds = _best_seconds(
+            lambda: strongest_station_batch(
+                network, queries, backend="float32-screen"
+            ),
+            repeats=2,
+        )
+        np.testing.assert_array_equal(
+            strongest_station_batch(network, queries, backend="float32-screen"),
+            expected,
+        )
+        sweep[f"{budget >> 20}MiB"] = {
+            "strongest_qps": round(QUERY_COUNT / seconds, 1)
+        }
+    print(f"\nchunk budget sweep: {sweep}")
+    record_benchmark("mixed_precision_chunk_sweep", sweep)

@@ -1,0 +1,76 @@
+"""Machine-readable benchmark persistence (``BENCH_engine.json``).
+
+First step of ROADMAP's observability item: every bench run records its
+headline numbers — queries/second and speedup-vs-numpy per backend — into a
+small JSON file at the repo root, keyed by the git SHA it measured, so the
+perf trajectory across PRs becomes checkable by tooling instead of living
+only in CI logs.
+
+The file holds exactly one SHA: a run against a different commit resets the
+results rather than appending, so the committed file always describes the
+tree it sits in.  Sections merge, letting independent bench modules
+(``bench_engine_batch``, ``bench_mixed_precision``) each contribute their
+own payload to one file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from typing import Optional
+
+__all__ = ["BENCH_PATH", "current_git_sha", "record_benchmark"]
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Default output path, at the repo root next to ROADMAP.md.
+BENCH_PATH = os.path.join(_REPO_ROOT, "BENCH_engine.json")
+
+_SCHEMA = 1
+
+
+def current_git_sha() -> str:
+    """The HEAD SHA of the measured tree (``GITHUB_SHA`` fallback in CI)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return os.environ.get("GITHUB_SHA", "unknown")
+
+
+def record_benchmark(
+    section: str, payload: dict, path: Optional[str] = None
+) -> str:
+    """Merge one bench module's results into the persisted JSON file.
+
+    ``payload`` should be JSON-serialisable and carry explicit units in its
+    key names (``*_qps``, ``*_seconds``, ``speedup_vs_numpy``...).  Returns
+    the path written.  Results recorded under a different SHA than the file
+    holds are treated as a fresh run: the file is reset, not appended to.
+    """
+    path = path or BENCH_PATH
+    sha = current_git_sha()
+    data: dict = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        data = {}
+    if not isinstance(data, dict) or data.get("git_sha") != sha:
+        data = {"schema": _SCHEMA, "git_sha": sha, "results": {}}
+    data.setdefault("results", {})[section] = payload
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path

@@ -35,6 +35,22 @@ Architecture
                       large batches (>= its ``min_batch_size`` threshold,
                       default 2048 points); smaller batches automatically fall
                       through to ``numpy`` so they never pay pool overhead.
+    ``float32-screen``  The precision tier (``mixed_precision.py``): decision
+                      queries run a float32 screen with a certified decision
+                      margin, and only margin-close points are re-verified
+                      through an exact inner backend (any registered name,
+                      default ``numpy``; late-bound per call).  Answers are
+                      bit-identical to ``reference`` by construction — the
+                      screen keeps only decisions it can certify — at roughly
+                      half the memory traffic of the float64 kernels.  Value
+                      queries (``sinr_batch`` / ``energy_batch``) delegate to
+                      the inner backend unscreened.
+    ``gpu``           The same screen-then-verify shell with the float32
+                      screen on a CUDA device via CuPy (``gpu_backend.py``).
+                      Registered only when the optional dependency imports
+                      *and* a device is visible
+                      (``pip install repro-sinr-diagrams[gpu]``); exactness
+                      guarantee identical to ``float32-screen``.
     ================  ==========================================================
 
     Switch with::
@@ -61,6 +77,12 @@ Architecture
     other ``n - 1`` SINR rows — the hot kernel of zone-boundary probing);
     :func:`received_mask` uses it when the active backend provides one.
 
+    Every batch function tiles the point axis so the ``(n, m)``
+    intermediates of one engine call fit a byte budget
+    (``REPRO_ENGINE_CHUNK_BYTES``, default 64 MiB): peak memory stays
+    bounded however large the batch, and results are bit-identical for
+    every chunk size because each point's answer is independent.
+
 Semantics
 =========
 
@@ -83,11 +105,14 @@ from .backend import (
     use_backend,
 )
 from .batch import (
+    DEFAULT_CHUNK_BYTES,
     NO_RECEPTION,
     as_points_array,
+    chunk_byte_budget,
     energy_batch,
     heard_station_batch,
     locate_batch,
+    points_per_chunk,
     received_at,
     received_mask,
     sinr_batch,
@@ -96,26 +121,36 @@ from .batch import (
 from . import kernels
 
 # Importing these modules registers the production backends: "multiprocess"
-# always, "numba" only when the optional dependency is importable.
+# and "float32-screen" always, "numba" and "gpu" only when their optional
+# dependency (and, for "gpu", a CUDA device) is available.
 from .multiprocess import MultiprocessBackend
 from .numba_backend import NUMBA_AVAILABLE, NumbaBackend
+from .mixed_precision import Float32ScreenBackend, ScreenStats
+from .gpu_backend import GPU_AVAILABLE, GpuBackend
 
 __all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "GPU_AVAILABLE",
     "NO_RECEPTION",
     "NUMBA_AVAILABLE",
+    "Float32ScreenBackend",
+    "GpuBackend",
     "MultiprocessBackend",
     "NumbaBackend",
     "NumpyBackend",
     "QueryBackend",
     "ReferenceBackend",
+    "ScreenStats",
     "active_backend",
     "as_points_array",
     "available_backends",
+    "chunk_byte_budget",
     "energy_batch",
     "get_backend",
     "heard_station_batch",
     "kernels",
     "locate_batch",
+    "points_per_chunk",
     "received_at",
     "received_mask",
     "register_backend",

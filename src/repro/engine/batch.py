@@ -6,11 +6,28 @@ in any reasonable form — a ``(m, 2)`` numpy array, a sequence of
 :class:`~repro.geometry.point.Point`, or a sequence of ``(x, y)`` tuples —
 and return numpy arrays.  Computation is delegated to the active
 :mod:`backend <repro.engine.backend>` (or an explicitly passed one).
+
+Memory-bounded chunking
+-----------------------
+
+Every kernel materialises ``(n_stations, m)`` intermediates — several of
+them at once — so an unchunked 200-station × 1M-point batch peaks around
+1.6 GB.  All batch functions therefore tile the point axis so those
+intermediates fit a byte budget (:func:`chunk_byte_budget`, settable via
+the ``REPRO_ENGINE_CHUNK_BYTES`` environment variable, default 64 MiB).
+Chunking is exact: every kernel decides each point independently of every
+other point (the same property :class:`~repro.engine.multiprocess.\
+MultiprocessBackend` exploits to shard across processes), so results are
+bit-identical for every chunk size.  Only the per-call *temporaries* are
+bounded — outputs whose size is inherent to the query (the ``(n, m)``
+matrix of :func:`sinr_batch`, for example) still scale with the batch.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+import os
+import warnings
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -22,8 +39,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = [
     "NO_RECEPTION",
+    "DEFAULT_CHUNK_BYTES",
     "PointsLike",
     "as_points_array",
+    "chunk_byte_budget",
+    "points_per_chunk",
     "energy_batch",
     "sinr_batch",
     "strongest_station_batch",
@@ -37,7 +57,98 @@ __all__ = [
 #: (matches :data:`repro.model.diagram.NO_RECEPTION`).
 NO_RECEPTION = -1
 
+#: Default byte budget for one engine call's ``(n_stations, chunk)``
+#: intermediates; override with ``REPRO_ENGINE_CHUNK_BYTES``.
+DEFAULT_CHUNK_BYTES = 64 * 1024 * 1024
+
+#: How many float64 ``(n, chunk)`` temporaries one kernel call may hold
+#: concurrently (deltas, squared distances, energies, coincidence masks,
+#: where-results, ...).  Chunk sizes are budgeted for all of them together,
+#: so the budget bounds the call's whole transient footprint, not just one
+#: matrix.
+_TEMPS_PER_CALL = 12
+
 PointsLike = Union[np.ndarray, Sequence["Point"], Sequence[Sequence[float]]]
+
+
+def chunk_byte_budget() -> int:
+    """The configured intermediate-matrix byte budget for one engine call.
+
+    Reads ``REPRO_ENGINE_CHUNK_BYTES`` on every call (so tests and services
+    can retune it at runtime); non-positive or unparsable values are ignored
+    with a warning in favour of :data:`DEFAULT_CHUNK_BYTES`.
+    """
+    raw = os.environ.get("REPRO_ENGINE_CHUNK_BYTES", "")
+    if raw.strip():
+        try:
+            configured = int(raw)
+        except ValueError:
+            configured = 0
+        if configured > 0:
+            return configured
+        warnings.warn(
+            f"ignoring invalid REPRO_ENGINE_CHUNK_BYTES={raw!r} "
+            f"(expected a positive integer); using {DEFAULT_CHUNK_BYTES}",
+            stacklevel=2,
+        )
+    return DEFAULT_CHUNK_BYTES
+
+
+def points_per_chunk(n_stations: int) -> int:
+    """How many points fit one engine call under :func:`chunk_byte_budget`.
+
+    Always at least 1: a single point's column must be computable whatever
+    the budget, so tiny budgets degrade to point-at-a-time evaluation rather
+    than failing.
+    """
+    per_point = max(1, n_stations) * 8 * _TEMPS_PER_CALL
+    return max(1, chunk_byte_budget() // per_point)
+
+
+def _chunked(
+    call: Callable[[np.ndarray, slice], np.ndarray],
+    pts: np.ndarray,
+    n_stations: int,
+    columns: bool,
+) -> np.ndarray:
+    """Evaluate ``call`` over point chunks and stitch the results.
+
+    ``call(chunk, sl)`` computes the result for ``pts[sl]`` (the slice is
+    passed so callers can co-slice per-point side inputs such as candidate
+    station indices).  ``columns=True`` stitches ``(n, c)`` chunk results
+    along axis 1, ``columns=False`` stitches per-point ``(c,)`` results.
+    The output dtype/leading shape comes from the first chunk, so backends
+    keep full control of their result types.
+    """
+    step = points_per_chunk(n_stations)
+    m = len(pts)
+    if m <= step:
+        return call(pts, slice(0, m))
+    out = None
+    for start in range(0, m, step):
+        sl = slice(start, min(start + step, m))
+        part = call(pts[sl], sl)
+        if out is None:
+            shape = part.shape[:-1] + (m,) if columns else (m,)
+            out = np.empty(shape, dtype=part.dtype)
+        if columns:
+            out[..., sl] = part
+        else:
+            out[sl] = part
+    return out
+
+
+def _float32_kwargs(engine: QueryBackend, network: "WirelessNetwork") -> dict:
+    """Cached float32 network views, for backends that opt in.
+
+    Backends advertising ``accepts_float32_arrays`` (the precision tier of
+    :mod:`repro.engine.mixed_precision`) receive the network's cached
+    contiguous float32 coordinate/power arrays alongside the exact float64
+    ones, so their screen pass never re-casts per call.
+    """
+    if getattr(engine, "accepts_float32_arrays", False):
+        return {"coords32": network.coords32, "powers32": network.powers32}
+    return {}
 
 
 def as_points_array(points: PointsLike) -> np.ndarray:
@@ -82,8 +193,14 @@ def energy_batch(
     """Received-energy matrix of shape ``(n_stations, m)`` (``inf`` at stations)."""
     engine = get_backend(backend)
     pts = as_points_array(points)
-    return engine.energy_matrix(
-        network.coords, network.powers_array(), pts, network.alpha
+    kwargs = _float32_kwargs(engine, network)
+    return _chunked(
+        lambda chunk, sl: engine.energy_matrix(
+            network.coords, network.powers_array(), chunk, network.alpha, **kwargs
+        ),
+        pts,
+        len(network.coords),
+        columns=True,
     )
 
 
@@ -102,8 +219,19 @@ def sinr_batch(
     """
     engine = get_backend(backend)
     pts = as_points_array(points)
-    matrix = engine.sinr_matrix(
-        network.coords, network.powers_array(), pts, network.noise, network.alpha
+    kwargs = _float32_kwargs(engine, network)
+    matrix = _chunked(
+        lambda chunk, sl: engine.sinr_matrix(
+            network.coords,
+            network.powers_array(),
+            chunk,
+            network.noise,
+            network.alpha,
+            **kwargs,
+        ),
+        pts,
+        len(network.coords),
+        columns=True,
     )
     if target_index is None:
         return matrix
@@ -118,8 +246,14 @@ def strongest_station_batch(
     """Index of the strongest (Voronoi, under uniform power) station per point."""
     engine = get_backend(backend)
     pts = as_points_array(points)
-    return engine.strongest_station(
-        network.coords, network.powers_array(), pts, network.alpha
+    kwargs = _float32_kwargs(engine, network)
+    return _chunked(
+        lambda chunk, sl: engine.strongest_station(
+            network.coords, network.powers_array(), chunk, network.alpha, **kwargs
+        ),
+        pts,
+        len(network.coords),
+        columns=False,
     )
 
 
@@ -138,25 +272,39 @@ def received_mask(
     """
     engine = get_backend(backend)
     pts = as_points_array(points)
+    kwargs = _float32_kwargs(engine, network)
+    n = len(network.coords)
     row_kernel = getattr(engine, "received_mask_row", None)
     if row_kernel is not None:
-        return row_kernel(
+        return _chunked(
+            lambda chunk, sl: row_kernel(
+                network.coords,
+                network.powers_array(),
+                chunk,
+                index,
+                network.noise,
+                network.beta,
+                network.alpha,
+                **kwargs,
+            ),
+            pts,
+            n,
+            columns=False,
+        )
+    return _chunked(
+        lambda chunk, sl: engine.received_mask_matrix(
             network.coords,
             network.powers_array(),
-            pts,
-            index,
+            chunk,
             network.noise,
             network.beta,
             network.alpha,
-        )
-    return engine.received_mask_matrix(
-        network.coords,
-        network.powers_array(),
+            **kwargs,
+        )[index],
         pts,
-        network.noise,
-        network.beta,
-        network.alpha,
-    )[index]
+        n,
+        columns=False,
+    )
 
 
 def received_at(
@@ -185,26 +333,39 @@ def received_at(
             f"expected one station index per point ({len(pts)}), "
             f"got shape {indices.shape}"
         )
+    kwargs = _float32_kwargs(engine, network)
+    n = len(network.coords)
     gather_kernel = getattr(engine, "received_mask_at", None)
     if gather_kernel is not None:
-        return gather_kernel(
+        return _chunked(
+            lambda chunk, sl: gather_kernel(
+                network.coords,
+                network.powers_array(),
+                chunk,
+                indices[sl],
+                network.noise,
+                network.beta,
+                network.alpha,
+                **kwargs,
+            ),
+            pts,
+            n,
+            columns=False,
+        )
+
+    def _gathered(chunk, sl):
+        mask = engine.received_mask_matrix(
             network.coords,
             network.powers_array(),
-            pts,
-            indices,
+            chunk,
             network.noise,
             network.beta,
             network.alpha,
+            **kwargs,
         )
-    mask = engine.received_mask_matrix(
-        network.coords,
-        network.powers_array(),
-        pts,
-        network.noise,
-        network.beta,
-        network.alpha,
-    )
-    return mask[indices, np.arange(len(pts))]
+        return mask[indices[sl], np.arange(len(chunk))]
+
+    return _chunked(_gathered, pts, n, columns=False)
 
 
 def heard_station_batch(
@@ -219,14 +380,21 @@ def heard_station_batch(
     """
     engine = get_backend(backend)
     pts = as_points_array(points)
-    return engine.heard_station(
-        network.coords,
-        network.powers_array(),
+    kwargs = _float32_kwargs(engine, network)
+    return _chunked(
+        lambda chunk, sl: engine.heard_station(
+            network.coords,
+            network.powers_array(),
+            chunk,
+            network.noise,
+            network.beta,
+            network.alpha,
+            NO_RECEPTION,
+            **kwargs,
+        ),
         pts,
-        network.noise,
-        network.beta,
-        network.alpha,
-        NO_RECEPTION,
+        len(network.coords),
+        columns=False,
     )
 
 

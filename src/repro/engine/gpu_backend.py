@@ -1,0 +1,161 @@
+"""Optional CuPy GPU backend wrapped in the screen-then-verify shell.
+
+Registered as ``"gpu"`` only when the optional ``cupy`` dependency imports
+*and* a CUDA device is visible (``pip install repro-sinr-diagrams[gpu]``);
+otherwise the module imports cleanly, :data:`GPU_AVAILABLE` is False and
+constructing :class:`GpuBackend` raises a descriptive
+:class:`~repro.exceptions.ReproError` — the same clean-skip contract as the
+numba backend.
+
+The backend subclasses :class:`~repro.engine.mixed_precision.
+Float32ScreenBackend` and overrides only the four screen chunk hooks: the
+float32 screen kernels run on the device (they are written against an
+array-module parameter, so the CPU and GPU paths share one implementation),
+decision flags and small per-point results come back to the host, and
+margin-close points are re-verified through the exact (CPU) inner backend.
+GPU throughput therefore never changes an answer — output stays
+bit-identical to ``reference`` by the same construction as the CPU screen.
+
+Station arrays are uploaded once per (coords, powers) identity and cached on
+the device; per-chunk traffic is the chunk's query points plus per-point
+results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ReproError
+from .backend import register_backend
+from .mixed_precision import (
+    Float32ScreenBackend,
+    _screen_heard,
+    _screen_mask,
+    _screen_row,
+    _screen_strongest,
+)
+
+__all__ = ["GPU_AVAILABLE", "GpuBackend"]
+
+try:  # pragma: no cover - exercised only where cupy is installed
+    import cupy  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - the container default
+    cupy = None
+
+GPU_AVAILABLE = False
+if cupy is not None:  # pragma: no cover - needs a CUDA device
+    try:
+        GPU_AVAILABLE = int(cupy.cuda.runtime.getDeviceCount()) > 0
+    except Exception:
+        # cupy imports on CUDA-less hosts but its runtime probing raises
+        # (CUDARuntimeError, missing driver libraries, ...): same clean
+        # skip as an absent install.
+        GPU_AVAILABLE = False
+
+#: Station-array device cache size (distinct networks resident at once).
+_DEVICE_CACHE_SLOTS = 8
+
+
+class GpuBackend(Float32ScreenBackend):  # pragma: no cover - needs a device
+    """CuPy float32 screen with exact CPU verification (``"gpu"``).
+
+    Accepts the same arguments as
+    :class:`~repro.engine.mixed_precision.Float32ScreenBackend`; the inner
+    (verify) backend stays a CPU backend and keeps its late-binding
+    name-resolution semantics.
+    """
+
+    name = "gpu"
+
+    def __init__(self, inner="numpy", **kwargs) -> None:
+        if not GPU_AVAILABLE:
+            raise ReproError(
+                "the 'gpu' engine backend needs the optional cupy dependency "
+                "and a visible CUDA device; install with "
+                "`pip install repro-sinr-diagrams[gpu]` (or a cupy build "
+                "matching your CUDA toolkit) and check `nvidia-smi`"
+            )
+        super().__init__(inner, **kwargs)
+        # id(host array) -> (host array ref, device array).  Keeping the
+        # host ref pins the id so it cannot be recycled while cached.
+        self._device_cache = {}
+
+    def _device(self, host: np.ndarray):
+        """The device copy of a host station array (bounded cache)."""
+        key = id(host)
+        hit = self._device_cache.get(key)
+        if hit is not None and hit[0] is host:
+            return hit[1]
+        if len(self._device_cache) >= _DEVICE_CACHE_SLOTS:
+            self._device_cache.pop(next(iter(self._device_cache)))
+        device = cupy.asarray(host)
+        self._device_cache[key] = (host, device)
+        return device
+
+    # -- screen chunk hooks on the device ------------------------------
+
+    def _screen_strongest_chunk(self, coords32, powers32, pts32, alpha, tol32):
+        idx, uncertain, sq_min = _screen_strongest(
+            cupy,
+            self._device(coords32),
+            self._device(powers32),
+            cupy.asarray(pts32),
+            alpha,
+            tol32,
+        )
+        return cupy.asnumpy(idx), cupy.asnumpy(uncertain), cupy.asnumpy(sq_min)
+
+    def _screen_mask_chunk(
+        self, coords32, powers32, pts32, noise, beta32, tol32, alpha
+    ):
+        mask, uncertain, sq_min = _screen_mask(
+            cupy,
+            self._device(coords32),
+            self._device(powers32),
+            cupy.asarray(pts32),
+            noise,
+            beta32,
+            tol32,
+            alpha,
+        )
+        return cupy.asnumpy(mask), cupy.asnumpy(uncertain), cupy.asnumpy(sq_min)
+
+    def _screen_heard_chunk(
+        self, coords32, powers32, pts32, noise, beta32, tol32, alpha
+    ):
+        best, any_received, uncertain, sq_min = _screen_heard(
+            cupy,
+            self._device(coords32),
+            self._device(powers32),
+            cupy.asarray(pts32),
+            noise,
+            beta32,
+            tol32,
+            alpha,
+        )
+        return (
+            cupy.asnumpy(best),
+            cupy.asnumpy(any_received),
+            cupy.asnumpy(uncertain),
+            cupy.asnumpy(sq_min),
+        )
+
+    def _screen_row_chunk(
+        self, coords32, powers32, pts32, indices, noise, beta32, tol32, alpha
+    ):
+        mask, uncertain, sq_min = _screen_row(
+            cupy,
+            self._device(coords32),
+            self._device(powers32),
+            cupy.asarray(pts32),
+            cupy.asarray(indices),
+            noise,
+            beta32,
+            tol32,
+            alpha,
+        )
+        return cupy.asnumpy(mask), cupy.asnumpy(uncertain), cupy.asnumpy(sq_min)
+
+
+if GPU_AVAILABLE:  # pragma: no cover - needs a CUDA device
+    register_backend("gpu", GpuBackend())

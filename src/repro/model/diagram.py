@@ -117,12 +117,12 @@ def raster_block(
     grid_x, grid_y = np.meshgrid(xs, ys)
     pixel_points = np.column_stack((grid_x.ravel(), grid_y.ravel()))
     n = len(network)
-    sinr_values = backend.sinr_matrix(
-        network.coords,
-        network.powers_array(),
-        pixel_points,
-        network.noise,
-        network.alpha,
+    # Through the batch API rather than the raw backend method, so pixel
+    # batches inherit its memory-bounded point chunking (bit-identical per
+    # chunk size — chunking commutes with the per-pixel independence that
+    # already makes tiles exact).
+    sinr_values = engine_batch.sinr_batch(
+        network, pixel_points, backend=backend
     ).reshape(n, len(ys), len(xs))
 
     received = sinr_values >= network.beta

@@ -143,6 +143,35 @@ class WirelessNetwork:
         return cached
 
     @property
+    def coords32(self) -> np.ndarray:
+        """:attr:`coords` rounded to a cached, read-only float32 ``(n, 2)`` array.
+
+        The *screen* tier of the precision-tiered engine backends
+        (:mod:`repro.engine.mixed_precision`) evaluates its fast float32 pass
+        over these arrays; they are views of the same immutable network, so
+        one cast per network serves every batch query.  The rounding loses
+        up to half a float32 ulp per coordinate — screen results are never
+        returned directly where that rounding could flip a decision (the
+        margin test routes such points through the exact float64 path).
+        """
+        cached = self.__dict__.get("_coords32")
+        if cached is None:
+            cached = np.ascontiguousarray(self.coords, dtype=np.float32)
+            cached.setflags(write=False)
+            self.__dict__["_coords32"] = cached
+        return cached
+
+    @property
+    def powers32(self) -> np.ndarray:
+        """:meth:`powers_array` as a cached, read-only float32 ``(n,)`` array."""
+        cached = self.__dict__.get("_powers32")
+        if cached is None:
+            cached = np.ascontiguousarray(self.powers_array(), dtype=np.float32)
+            cached.setflags(write=False)
+            self.__dict__["_powers32"] = cached
+        return cached
+
+    @property
     def fingerprint(self) -> str:
         """A cheap content fingerprint of everything reception depends on.
 

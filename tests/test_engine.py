@@ -25,17 +25,23 @@ import pytest
 
 from repro import Point, SINRDiagram, Station, WirelessNetwork
 from repro.engine import (
+    DEFAULT_CHUNK_BYTES,
+    GPU_AVAILABLE,
     NUMBA_AVAILABLE,
+    GpuBackend,
     MultiprocessBackend,
     NumbaBackend,
     active_backend,
     as_points_array,
     available_backends,
+    chunk_byte_budget,
     energy_batch,
     get_backend,
     heard_station_batch,
     kernels,
     locate_batch,
+    points_per_chunk,
+    received_at,
     received_mask,
     register_backend,
     sinr_batch,
@@ -53,13 +59,25 @@ from repro.pointlocation import (
 from seeded_workloads import query_box_array, seeded_network
 
 needs_numba = pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+needs_gpu = pytest.mark.skipif(
+    not GPU_AVAILABLE, reason="cupy or a CUDA device not available"
+)
+
+#: Optional backends and the skip conditions of their CI legs.
+_OPTIONAL_MARKS = {"numba": needs_numba, "gpu": needs_gpu}
 
 #: Every backend that must agree with the "reference" ground truth.  The
-#: "numba" entry is always present in the matrix and skip-marked when the
-#: optional dependency is missing, so CI stays green either way.
+#: optional entries ("numba", "gpu") are always present in the matrix and
+#: skip-marked when their dependency is missing, so CI stays green either
+#: way; newly registered backends (e.g. "float32-screen") join
+#: automatically.
 CANDIDATE_BACKENDS = [
-    pytest.param(name, marks=needs_numba) if name == "numba" else name
-    for name in sorted(set(available_backends()) - {"reference"} | {"numba"})
+    pytest.param(name, marks=_OPTIONAL_MARKS[name])
+    if name in _OPTIONAL_MARKS
+    else name
+    for name in sorted(
+        set(available_backends()) - {"reference"} | set(_OPTIONAL_MARKS)
+    )
 ]
 
 
@@ -163,8 +181,9 @@ class TestBackendSelection:
 
     def test_registered_backend_matrix(self):
         names = set(available_backends())
-        assert {"numpy", "reference", "multiprocess"} <= names
+        assert {"numpy", "reference", "multiprocess", "float32-screen"} <= names
         assert ("numba" in names) == NUMBA_AVAILABLE
+        assert ("gpu" in names) == GPU_AVAILABLE
 
     def test_use_backend_nesting_unwinds_in_order(self):
         with use_backend("reference"):
@@ -420,6 +439,127 @@ class TestNumbaBackend:
             NumbaBackend()
         with pytest.raises(ReproError, match="available"):
             get_backend("numba")
+
+
+class TestGpuBackend:
+    @pytest.mark.skipif(
+        GPU_AVAILABLE, reason="error path only exists without a CUDA device"
+    )
+    def test_missing_dependency_skips_registration_cleanly(self):
+        assert "gpu" not in available_backends()
+        with pytest.raises(ReproError, match="gpu"):
+            GpuBackend()
+        with pytest.raises(ReproError, match="available"):
+            get_backend("gpu")
+
+    @needs_gpu
+    def test_registered_and_bit_identical_to_numpy(self):
+        network = random_network(seed=44)
+        points = np.vstack([queries_for(network, count=300), network.coords])
+        for fn in (heard_station_batch, strongest_station_batch):
+            np.testing.assert_array_equal(
+                fn(network, points, backend="gpu"),
+                fn(network, points, backend="numpy"),
+            )
+
+
+# ----------------------------------------------------------------------
+# Memory-bounded chunking
+# ----------------------------------------------------------------------
+class TestChunkedBatch:
+    def test_invalid_budget_warns_and_uses_default(self, monkeypatch):
+        for bogus in ("banana", "-5", "0"):
+            monkeypatch.setenv("REPRO_ENGINE_CHUNK_BYTES", bogus)
+            with pytest.warns(UserWarning, match="REPRO_ENGINE_CHUNK_BYTES"):
+                assert chunk_byte_budget() == DEFAULT_CHUNK_BYTES
+        monkeypatch.delenv("REPRO_ENGINE_CHUNK_BYTES")
+        assert chunk_byte_budget() == DEFAULT_CHUNK_BYTES
+
+    def test_points_per_chunk_never_below_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_CHUNK_BYTES", "1")
+        assert points_per_chunk(10_000) == 1
+
+    @pytest.mark.parametrize("backend_name", ["numpy", "float32-screen"])
+    @pytest.mark.parametrize("budget", [40_000, 300_000, 5_000_000])
+    def test_results_bit_identical_across_chunk_sizes(
+        self, monkeypatch, backend_name, budget
+    ):
+        """Chunking is invisible: every query family, three budgets apart.
+
+        The baseline runs under the default 64 MiB budget (one single chunk
+        at this scale), the comparison under budgets small enough for tens
+        of chunks — results must match to the bit.
+        """
+        network = random_network(seed=50)
+        points = np.vstack([queries_for(network, count=1500, seed=51),
+                            network.coords])
+        indices = np.arange(len(points)) % len(network)
+        families = [
+            lambda b: sinr_batch(network, points, backend=b),
+            lambda b: energy_batch(network, points, backend=b),
+            lambda b: strongest_station_batch(network, points, backend=b),
+            lambda b: heard_station_batch(network, points, backend=b),
+            lambda b: received_mask(network, 2, points, backend=b),
+            lambda b: received_at(network, indices, points, backend=b),
+        ]
+        monkeypatch.delenv("REPRO_ENGINE_CHUNK_BYTES", raising=False)
+        baselines = [fn(backend_name) for fn in families]
+        monkeypatch.setenv("REPRO_ENGINE_CHUNK_BYTES", str(budget))
+        for fn, expected in zip(families, baselines):
+            np.testing.assert_array_equal(fn(backend_name), expected)
+
+    def test_peak_allocation_stays_bounded(self, monkeypatch):
+        """The satellite regression: temporaries obey the byte budget.
+
+        50 stations x 60k points would materialise ~24 MB per ``(n, m)``
+        float64 temporary unchunked (several of them live at once); under a
+        2 MiB budget the tracemalloc peak must stay near the budget plus the
+        inherent output, an order of magnitude below the unchunked run —
+        with bit-identical answers.
+        """
+        import tracemalloc
+
+        network = seeded_network(50, side=30.0, seed=77)
+        points = query_box_array(network, 60_000, seed=78)
+
+        def peak_of(fn):
+            tracemalloc.start()
+            try:
+                result = fn()
+                _, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            return result, peak
+
+        budget = 2 * 2**20
+        monkeypatch.setenv("REPRO_ENGINE_CHUNK_BYTES", str(budget))
+        chunked, peak_chunked = peak_of(
+            lambda: strongest_station_batch(network, points)
+        )
+        monkeypatch.setenv("REPRO_ENGINE_CHUNK_BYTES", str(1 << 34))
+        unchunked, peak_unchunked = peak_of(
+            lambda: strongest_station_batch(network, points)
+        )
+        np.testing.assert_array_equal(chunked, unchunked)
+        # Budgeted temporaries + the (m,) intp output + small slack; the
+        # queries array itself was allocated before tracing started.
+        inherent = len(points) * np.dtype(np.intp).itemsize
+        assert peak_chunked <= budget + inherent + (1 << 20)
+        assert peak_unchunked > 4 * peak_chunked
+
+    def test_raster_block_inherits_chunking(self, monkeypatch):
+        """Tile rasters run through the chunked batch API, bit-identically."""
+        from repro.model.diagram import raster_block
+
+        network = random_network(seed=52)
+        xs = np.linspace(-1.0, 15.0, 64)
+        ys = np.linspace(-1.0, 15.0, 48)
+        monkeypatch.delenv("REPRO_ENGINE_CHUNK_BYTES", raising=False)
+        labels, values = raster_block(network, xs, ys)
+        monkeypatch.setenv("REPRO_ENGINE_CHUNK_BYTES", "40000")
+        labels_chunked, values_chunked = raster_block(network, xs, ys)
+        np.testing.assert_array_equal(labels_chunked, labels)
+        np.testing.assert_array_equal(values_chunked, values)
 
 
 # ----------------------------------------------------------------------
@@ -701,3 +841,29 @@ class TestCachedNetworkArrays:
             network.coords,
             np.array([[p.x, p.y] for p in network.locations()]),
         )
+
+    def test_float32_views_cached_read_only_and_rounded(self):
+        network = random_network(seed=18)
+        assert network.coords32 is network.coords32
+        assert network.powers32 is network.powers32
+        assert network.coords32.dtype == np.float32
+        assert network.powers32.dtype == np.float32
+        assert network.coords32.flags["C_CONTIGUOUS"]
+        with pytest.raises(ValueError):
+            network.coords32[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            network.powers32[0] = 1.0
+        np.testing.assert_array_equal(
+            network.coords32, network.coords.astype(np.float32)
+        )
+        np.testing.assert_array_equal(
+            network.powers32, network.powers_array().astype(np.float32)
+        )
+
+    def test_float32_views_track_mutated_networks(self):
+        network = random_network(seed=19)
+        _ = network.coords32
+        moved = network.with_station_moved(0, Point(100.0, 100.0))
+        assert moved.coords32[0, 0] == np.float32(100.0)
+        assert network.coords32[0, 0] != np.float32(100.0)
+        assert network.subnetwork([1, 2]).coords32.shape == (2, 2)
