@@ -17,12 +17,22 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # Ship the PEP 561 typing marker and the linter's committed baseline so
+    # installed copies type-check and `python -m repro.lint` behaves exactly
+    # like an in-tree run.
+    package_data={"repro": ["py.typed", "lint/baseline.json"]},
     python_requires=">=3.9",
     install_requires=["numpy"],
     extras_require={
         "test": [
             "pytest",
             "pytest-benchmark",
+        ],
+        # Static-analysis toolchain (the reprolint linter itself is
+        # pure-stdlib and needs nothing).
+        "dev": [
+            "mypy>=1.0",
+            "ruff>=0.4",
         ],
         # Optional JIT engine backend; without it `repro.engine` simply does
         # not register the "numba" backend.

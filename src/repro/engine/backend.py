@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import math
 import threading
-from contextvars import ContextVar
+from contextvars import ContextVar, Token
 from typing import Dict, Protocol, Union, runtime_checkable
 
 import numpy as np
@@ -124,29 +124,75 @@ class NumpyBackend:
 
     name = "numpy"
 
-    def energy_matrix(self, coords, powers, points, alpha):
+    def energy_matrix(
+        self, coords: np.ndarray, powers: np.ndarray, points: np.ndarray, alpha: float
+    ) -> np.ndarray:
         return kernels.energy_matrix(coords, powers, points, alpha)
 
-    def received_mask_row(self, coords, powers, points, index, noise, beta, alpha):
+    def received_mask_row(
+        self,
+        coords: np.ndarray,
+        powers: np.ndarray,
+        points: np.ndarray,
+        index: int,
+        noise: float,
+        beta: float,
+        alpha: float,
+    ) -> np.ndarray:
         return kernels.received_mask_row(
             coords, powers, points, index, noise, beta, alpha
         )
 
-    def received_mask_at(self, coords, powers, points, indices, noise, beta, alpha):
+    def received_mask_at(
+        self,
+        coords: np.ndarray,
+        powers: np.ndarray,
+        points: np.ndarray,
+        indices: np.ndarray,
+        noise: float,
+        beta: float,
+        alpha: float,
+    ) -> np.ndarray:
         return kernels.received_mask_at(
             coords, powers, points, indices, noise, beta, alpha
         )
 
-    def sinr_matrix(self, coords, powers, points, noise, alpha):
+    def sinr_matrix(
+        self,
+        coords: np.ndarray,
+        powers: np.ndarray,
+        points: np.ndarray,
+        noise: float,
+        alpha: float,
+    ) -> np.ndarray:
         return kernels.sinr_matrix(coords, powers, points, noise, alpha)
 
-    def strongest_station(self, coords, powers, points, alpha):
+    def strongest_station(
+        self, coords: np.ndarray, powers: np.ndarray, points: np.ndarray, alpha: float
+    ) -> np.ndarray:
         return kernels.strongest_station(coords, powers, points, alpha)
 
-    def received_mask_matrix(self, coords, powers, points, noise, beta, alpha):
+    def received_mask_matrix(
+        self,
+        coords: np.ndarray,
+        powers: np.ndarray,
+        points: np.ndarray,
+        noise: float,
+        beta: float,
+        alpha: float,
+    ) -> np.ndarray:
         return kernels.received_mask_matrix(coords, powers, points, noise, beta, alpha)
 
-    def heard_station(self, coords, powers, points, noise, beta, alpha, no_reception):
+    def heard_station(
+        self,
+        coords: np.ndarray,
+        powers: np.ndarray,
+        points: np.ndarray,
+        noise: float,
+        beta: float,
+        alpha: float,
+        no_reception: int,
+    ) -> np.ndarray:
         return kernels.heard_station(
             coords, powers, points, noise, beta, alpha, no_reception
         )
@@ -162,13 +208,17 @@ class ReferenceBackend:
     name = "reference"
 
     @staticmethod
-    def _scalar_energy(sx, sy, power, px, py, alpha):
+    def _scalar_energy(
+        sx: float, sy: float, power: float, px: float, py: float, alpha: float
+    ) -> float:
         from ..geometry.point import Point
         from ..model.sinr import received_energy
 
         return received_energy(Point(sx, sy), power, Point(px, py), alpha)
 
-    def energy_matrix(self, coords, powers, points, alpha):
+    def energy_matrix(
+        self, coords: np.ndarray, powers: np.ndarray, points: np.ndarray, alpha: float
+    ) -> np.ndarray:
         n, m = len(coords), len(points)
         out = np.empty((n, m), dtype=float)
         for i in range(n):
@@ -180,7 +230,7 @@ class ReferenceBackend:
         return out
 
     @staticmethod
-    def _coincident(coords, px, py):
+    def _coincident(coords: np.ndarray, px: float, py: float) -> "list[int]":
         """Indices of stations exactly at ``(px, py)`` (coordinate equality)."""
         return [
             i
@@ -188,7 +238,14 @@ class ReferenceBackend:
             if coords[i, 0] == px and coords[i, 1] == py
         ]
 
-    def sinr_matrix(self, coords, powers, points, noise, alpha):
+    def sinr_matrix(
+        self,
+        coords: np.ndarray,
+        powers: np.ndarray,
+        points: np.ndarray,
+        noise: float,
+        alpha: float,
+    ) -> np.ndarray:
         energies = self.energy_matrix(coords, powers, points, alpha)
         n, m = energies.shape
         out = np.empty((n, m), dtype=float)
@@ -213,7 +270,9 @@ class ReferenceBackend:
                     )
         return out
 
-    def strongest_station(self, coords, powers, points, alpha):
+    def strongest_station(
+        self, coords: np.ndarray, powers: np.ndarray, points: np.ndarray, alpha: float
+    ) -> np.ndarray:
         energies = self.energy_matrix(coords, powers, points, alpha)
         m = energies.shape[1]
         out = np.empty(m, dtype=np.intp)
@@ -225,7 +284,9 @@ class ReferenceBackend:
             out[j] = best
         return out
 
-    def _mask_from_ratio(self, ratio, coords, points, beta):
+    def _mask_from_ratio(
+        self, ratio: np.ndarray, coords: np.ndarray, points: np.ndarray, beta: float
+    ) -> np.ndarray:
         n, m = ratio.shape
         mask = np.zeros((n, m), dtype=bool)
         for j in range(m):
@@ -238,11 +299,28 @@ class ReferenceBackend:
                 mask[i, j] = ratio[i, j] >= beta
         return mask
 
-    def received_mask_matrix(self, coords, powers, points, noise, beta, alpha):
+    def received_mask_matrix(
+        self,
+        coords: np.ndarray,
+        powers: np.ndarray,
+        points: np.ndarray,
+        noise: float,
+        beta: float,
+        alpha: float,
+    ) -> np.ndarray:
         ratio = self.sinr_matrix(coords, powers, points, noise, alpha)
         return self._mask_from_ratio(ratio, coords, points, beta)
 
-    def heard_station(self, coords, powers, points, noise, beta, alpha, no_reception):
+    def heard_station(
+        self,
+        coords: np.ndarray,
+        powers: np.ndarray,
+        points: np.ndarray,
+        noise: float,
+        beta: float,
+        alpha: float,
+        no_reception: int,
+    ) -> np.ndarray:
         ratio = self.sinr_matrix(coords, powers, points, noise, alpha)
         mask = self._mask_from_ratio(ratio, coords, points, beta)
         m = ratio.shape[1]
@@ -327,7 +405,9 @@ class _BackendSelection:
     block when re-registration during the block is a possibility.
     """
 
-    def __init__(self, token, selected: "str | QueryBackend"):
+    def __init__(
+        self, token: "Token[Union[str, QueryBackend]] | None", selected: "str | QueryBackend"
+    ) -> None:
         self._token = token
         self._selected = selected
 
@@ -338,7 +418,7 @@ class _BackendSelection:
     def __enter__(self) -> QueryBackend:
         return self.backend
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         if self._token is not None:
             _selection.reset(self._token)
             self._token = None

@@ -25,12 +25,13 @@ matrix of :func:`sinr_batch`, for example) still scale with the batch.
 
 from __future__ import annotations
 
-import os
 import warnings
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..env import ENGINE_CHUNK_BYTES, read_knob
+from ..exceptions import EngineError
 from .backend import QueryBackend, get_backend
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -45,6 +46,8 @@ __all__ = [
     "chunk_byte_budget",
     "points_per_chunk",
     "energy_batch",
+    "sinr_matrix_array",
+    "strongest_station_array",
     "sinr_batch",
     "strongest_station_batch",
     "received_mask",
@@ -78,7 +81,7 @@ def chunk_byte_budget() -> int:
     can retune it at runtime); non-positive or unparsable values are ignored
     with a warning in favour of :data:`DEFAULT_CHUNK_BYTES`.
     """
-    raw = os.environ.get("REPRO_ENGINE_CHUNK_BYTES", "")
+    raw = read_knob(ENGINE_CHUNK_BYTES)
     if raw.strip():
         try:
             configured = int(raw)
@@ -169,7 +172,7 @@ def as_points_array(points: PointsLike) -> np.ndarray:
         if array.ndim == 1 and array.shape == (2,):
             return array.reshape(1, 2)
         if array.ndim != 2 or array.shape[1] != 2:
-            raise ValueError(
+            raise EngineError(
                 f"expected points of shape (m, 2), got {array.shape}"
             )
         return array
@@ -180,9 +183,60 @@ def as_points_array(points: PointsLike) -> np.ndarray:
     if isinstance(first, float) or isinstance(first, int):
         # A bare (x, y) pair.
         if len(seq) != 2:
-            raise ValueError("a single point must be a pair (x, y)")
+            raise EngineError("a single point must be a pair (x, y)")
         return np.array([seq], dtype=float)
     return np.array([(p[0], p[1]) for p in seq], dtype=float)
+
+
+def sinr_matrix_array(
+    coords: np.ndarray,
+    powers: np.ndarray,
+    points: PointsLike,
+    noise: float,
+    alpha: float,
+    backend: "str | QueryBackend | None" = None,
+) -> np.ndarray:
+    """Chunked ``(n, m)`` SINR matrix over raw station arrays.
+
+    The array-level sibling of :func:`sinr_batch` for callers that have no
+    :class:`~repro.model.network.WirelessNetwork` (the grid façades of
+    :mod:`repro.model.sinr`).  Same chunk byte budget, same backend
+    delegation, bit-identical to an unchunked kernel call.
+    """
+    engine = get_backend(backend)
+    coords = np.asarray(coords, dtype=float)
+    powers = np.asarray(powers, dtype=float)
+    pts = as_points_array(points)
+    return _chunked(
+        lambda chunk, sl: engine.sinr_matrix(coords, powers, chunk, noise, alpha),
+        pts,
+        len(coords),
+        columns=True,
+    )
+
+
+def strongest_station_array(
+    coords: np.ndarray,
+    powers: np.ndarray,
+    points: PointsLike,
+    alpha: float,
+    backend: "str | QueryBackend | None" = None,
+) -> np.ndarray:
+    """Chunked strongest-station indices over raw station arrays.
+
+    The array-level sibling of :func:`strongest_station_batch` (see
+    :func:`sinr_matrix_array` for when to prefer these).
+    """
+    engine = get_backend(backend)
+    coords = np.asarray(coords, dtype=float)
+    powers = np.asarray(powers, dtype=float)
+    pts = as_points_array(points)
+    return _chunked(
+        lambda chunk, sl: engine.strongest_station(coords, powers, chunk, alpha),
+        pts,
+        len(coords),
+        columns=False,
+    )
 
 
 def energy_batch(
@@ -309,7 +363,7 @@ def received_mask(
 
 def received_at(
     network: "WirelessNetwork",
-    station_indices,
+    station_indices: "np.ndarray | Sequence[int]",
     points: PointsLike,
     backend: "str | QueryBackend | None" = None,
 ) -> np.ndarray:
@@ -329,7 +383,7 @@ def received_at(
     pts = as_points_array(points)
     indices = np.asarray(station_indices, dtype=np.intp)
     if indices.shape != (len(pts),):
-        raise ValueError(
+        raise EngineError(
             f"expected one station index per point ({len(pts)}), "
             f"got shape {indices.shape}"
         )
@@ -398,7 +452,7 @@ def heard_station_batch(
     )
 
 
-def locate_batch(locator, points: PointsLike) -> List[object]:
+def locate_batch(locator: object, points: PointsLike) -> List[object]:
     """Answer a batch of point-location queries through any locator.
 
     Uses the locator's native ``locate_batch`` fast path when it has one and

@@ -43,13 +43,25 @@ except ImportError:  # pragma: no cover - the container default
     cupy = None
 
 GPU_AVAILABLE = False
-if cupy is not None:  # pragma: no cover - needs a CUDA device
+if cupy is not None:  # pragma: no cover - needs a cupy install
+    # cupy imports on CUDA-less hosts but its runtime probing raises.  Only
+    # the errors a device-less host actually produces mean "clean skip":
+    # CUDARuntimeError (no device / driver mismatch), CUDADriverError, and
+    # OSError for missing driver shared libraries.  Anything else — a
+    # broken install, an API change — propagates, because silently skipping
+    # it would disguise a real breakage as the no-GPU case.
+    _PROBE_ERRORS = tuple(
+        error
+        for error in (
+            getattr(cupy.cuda.runtime, "CUDARuntimeError", None),
+            getattr(getattr(cupy.cuda, "driver", None), "CUDADriverError", None),
+            OSError,
+        )
+        if isinstance(error, type) and issubclass(error, Exception)
+    )
     try:
         GPU_AVAILABLE = int(cupy.cuda.runtime.getDeviceCount()) > 0
-    except Exception:
-        # cupy imports on CUDA-less hosts but its runtime probing raises
-        # (CUDARuntimeError, missing driver libraries, ...): same clean
-        # skip as an absent install.
+    except _PROBE_ERRORS:
         GPU_AVAILABLE = False
 
 #: Station-array device cache size (distinct networks resident at once).

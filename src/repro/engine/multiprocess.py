@@ -35,6 +35,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..env import ENGINE_WORKERS, read_knob
+from ..exceptions import EngineError
 from .backend import QueryBackend, get_backend, register_backend
 from . import kernels
 
@@ -54,7 +56,7 @@ def _run_kernel(kernel_name, coords, powers, points, extra_args):
 
 
 def _default_worker_count() -> int:
-    configured = os.environ.get("REPRO_ENGINE_WORKERS", "")
+    configured = read_knob(ENGINE_WORKERS)
     if configured.strip():
         try:
             return max(1, int(configured))
@@ -96,7 +98,7 @@ class MultiprocessBackend:
     ):
         self.workers = workers if workers is not None else _default_worker_count()
         if self.workers < 1:
-            raise ValueError("workers must be >= 1")
+            raise EngineError("workers must be >= 1")
         self.min_batch_size = min_batch_size
         self._fallback_name = fallback
         if (

@@ -1,0 +1,103 @@
+"""The declared environment-knob registry — the one place ``os.environ`` is read.
+
+Every runtime knob the package honours is declared here as an
+:class:`EnvKnob` (name, default, description) and read through
+:func:`read_knob`.  Centralising the reads keeps configuration enumerable —
+an operator, a doc table, or the coming adaptive-control layer can iterate
+:data:`KNOBS` instead of grepping for ``environ`` — and reprolint rule
+RL009 enforces that no other module under ``src/repro`` touches
+``os.environ`` / ``os.getenv``.
+
+Benchmark-harness knobs (``REPRO_BENCH_*``) are declared too so the
+inventory is complete, although the ``benchmarks/`` scripts that read them
+live outside the linted tree.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .exceptions import ReproError
+
+__all__ = [
+    "EnvKnob",
+    "KNOBS",
+    "ENGINE_CHUNK_BYTES",
+    "ENGINE_WORKERS",
+    "BENCH_QUICK",
+    "BENCH_MIN_SPEEDUP",
+    "read_knob",
+]
+
+#: Byte budget for one engine call's kernel temporaries (see
+#: :func:`repro.engine.batch.chunk_byte_budget`).
+ENGINE_CHUNK_BYTES = "REPRO_ENGINE_CHUNK_BYTES"
+
+#: Worker-process count of the multiprocess engine backend.
+ENGINE_WORKERS = "REPRO_ENGINE_WORKERS"
+
+#: Shrinks benchmark workloads for CI smoke runs.
+BENCH_QUICK = "REPRO_BENCH_QUICK"
+
+#: Overrides the calibrated speedup floors of the benchmark gates.
+BENCH_MIN_SPEEDUP = "REPRO_BENCH_MIN_SPEEDUP"
+
+
+@dataclass(frozen=True)
+class EnvKnob:
+    """One declared environment knob."""
+
+    name: str
+    default: str
+    description: str
+
+
+_DECLARED: Tuple[EnvKnob, ...] = (
+    EnvKnob(
+        name=ENGINE_CHUNK_BYTES,
+        default="67108864",
+        description=(
+            "byte budget for one engine call's (n_stations, chunk) kernel "
+            "temporaries; batch entry points tile the point axis to fit it"
+        ),
+    ),
+    EnvKnob(
+        name=ENGINE_WORKERS,
+        default="os.cpu_count()",
+        description="worker-process count of the multiprocess engine backend",
+    ),
+    EnvKnob(
+        name=BENCH_QUICK,
+        default="",
+        description="non-empty shrinks benchmark workloads (CI smoke mode)",
+    ),
+    EnvKnob(
+        name=BENCH_MIN_SPEEDUP,
+        default="",
+        description=(
+            "overrides the calibrated minimum-speedup floors of the "
+            "benchmark gates (CI runners are slower than the calibration "
+            "hardware)"
+        ),
+    ),
+)
+
+#: Name -> declaration for every knob the package honours.
+KNOBS: Dict[str, EnvKnob] = {knob.name: knob for knob in _DECLARED}
+
+
+def read_knob(name: str, default: str = "") -> str:
+    """The raw environment value of a *declared* knob (``default`` if unset).
+
+    Reading an undeclared name raises: a knob that is not in :data:`KNOBS`
+    is invisible to every inventory built on it, which is exactly the
+    configuration drift this module exists to prevent.
+    """
+    if name not in KNOBS:
+        raise ReproError(
+            f"undeclared environment knob {name!r}; declare it in "
+            f"repro.env.KNOBS (declared: {sorted(KNOBS)})"
+        )
+    return os.environ.get(name, default)

@@ -50,6 +50,35 @@ class RasterCacheError(DiagramError):
     """
 
 
+class EngineError(ReproError, ValueError):
+    """Raised for invalid engine batch arguments or backend configuration.
+
+    Examples: query points whose shape is not ``(m, 2)``, a per-point index
+    array of the wrong length, or a non-positive worker count.  Also a
+    :class:`ValueError`: these are argument-validation failures, so existing
+    callers that caught ``ValueError`` keep working while new code catches
+    the taxonomy root.
+    """
+
+
+class WorkloadError(ReproError, ValueError):
+    """Raised for invalid workload or load-generator parameters.
+
+    Examples: a negative query count, a non-positive arrival rate, or a
+    schedule whose length does not match its points.  Also a
+    :class:`ValueError` for the same compatibility reason as
+    :class:`EngineError`.
+    """
+
+
+class LintError(ReproError):
+    """Raised by :mod:`repro.lint` for unusable linter input.
+
+    Examples: a missing lint path, an unknown rule id, or a baseline file
+    that is malformed or missing a written justification.
+    """
+
+
 class ServiceError(ReproError):
     """Raised for invalid query-service configuration or lifecycle misuse.
 

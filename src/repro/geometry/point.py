@@ -16,6 +16,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Tuple
 
+from ..exceptions import GeometryError
+
 __all__ = [
     "Point",
     "ORIGIN",
@@ -176,7 +178,7 @@ def centroid(points: Iterable[Point]) -> Point:
         total_y += point.y
         count += 1
     if count == 0:
-        raise ValueError("centroid() requires at least one point")
+        raise GeometryError("centroid() requires at least one point")
     return Point(total_x / count, total_y / count)
 
 

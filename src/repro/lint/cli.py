@@ -1,0 +1,132 @@
+"""The ``python -m repro.lint`` command line.
+
+Usage::
+
+    python -m repro.lint [paths ...] [--json] [--select RL001,RL005]
+                         [--baseline FILE | --no-baseline] [--list-rules]
+
+* paths default to ``src`` (falling back to ``.`` when no ``src`` exists),
+  so the CI invocation is simply ``python -m repro.lint src``;
+* the committed baseline (``src/repro/lint/baseline.json``) is applied by
+  default; ``--no-baseline`` shows every finding, ``--baseline`` points at
+  an alternative file;
+* exit code 0 means clean (baselined findings do not count), 1 means live
+  findings, 2 means the invocation itself was unusable (unknown rule id,
+  missing path, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..exceptions import LintError
+from .core import BaselineEntry, LintReport, load_baseline, run_lint
+from .rules import ALL_RULE_CLASSES, default_rules, rule_by_id
+
+__all__ = ["main", "build_parser"]
+
+#: The baseline shipped with the package (committed, justified entries).
+DEFAULT_BASELINE = Path(__file__).with_name("baseline.json")
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="reprolint: AST-checked project invariants for repro/",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src, else .)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report on stdout instead of one line per finding",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=f"baseline file to apply (default: {DEFAULT_BASELINE.name} "
+        f"shipped with the package)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline and report every finding",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id, title and contract, then exit",
+    )
+    return parser
+
+
+def _resolve_rules(select: Optional[str]):
+    if select is None:
+        return default_rules()
+    return [rule_by_id(rule_id.strip()) for rule_id in select.split(",") if rule_id.strip()]
+
+
+def _resolve_baseline(args: argparse.Namespace) -> List[BaselineEntry]:
+    if args.no_baseline:
+        return []
+    if args.baseline is not None:
+        return load_baseline(args.baseline)
+    if DEFAULT_BASELINE.exists():
+        return load_baseline(DEFAULT_BASELINE)
+    return []
+
+
+def _render_human(report: LintReport, out) -> None:
+    for finding in report.findings:
+        print(finding.render(), file=out)
+    summary = (
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{report.checked_files} file(s) checked"
+    )
+    print(("FAIL: " if report.findings else "OK: ") + summary, file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Run the linter; returns the process exit code (never raises SystemExit
+    itself — argparse may, on malformed flags)."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_RULE_CLASSES:
+            print(f"{cls.rule_id}  {cls.title}", file=out)
+            print(f"       {cls.contract}", file=out)
+        return EXIT_CLEAN
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    try:
+        rules = _resolve_rules(args.select)
+        baseline = _resolve_baseline(args)
+        report = run_lint(paths, rules=rules, baseline=baseline)
+    except LintError as error:
+        print(f"reprolint: error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2), file=out)
+    else:
+        _render_human(report, out)
+    return EXIT_CLEAN if report.clean else EXIT_FINDINGS

@@ -1,0 +1,362 @@
+"""The reprolint framework: rules, findings, suppression, baseline, runner.
+
+Everything here is rule-agnostic machinery.  A :class:`Rule` is a small
+object that inspects one parsed file (:class:`FileContext`) and yields
+:class:`Finding` records; the concrete project rules live in
+:mod:`repro.lint.rules`.  The runner (:func:`run_lint`) walks the requested
+paths, parses every ``*.py`` file once, applies each rule that is in scope
+for the file, and then filters the findings through the two escape hatches:
+
+* **inline suppression** — ``# reprolint: disable=RL001`` on the flagged
+  line (or ``# reprolint: disable-file=RL001`` anywhere in the file)
+  silences the named rules, for findings whose justification is obvious in
+  context;
+* **the committed baseline** — entries in ``baseline.json`` match findings
+  by rule id, path suffix and the *text* of the flagged line (so baselines
+  survive unrelated line drift), and every entry must carry a written
+  justification.
+
+A file that does not parse produces a single ``RL000`` finding instead of
+crashing the run: a syntax error in the tree is itself a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import LintError
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "BaselineEntry",
+    "package_relative",
+    "parse_source",
+    "check_source",
+    "iter_python_files",
+    "load_baseline",
+    "run_lint",
+    "LintReport",
+]
+
+#: Rule id reserved for files the parser rejects.
+PARSE_ERROR_RULE = "RL000"
+
+_DISABLE_LINE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9,\s]+)")
+_DISABLE_FILE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Za-z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    #: Stripped text of the flagged source line; the baseline matches on it
+    #: so entries survive unrelated line-number drift.
+    line_text: str = ""
+
+    def render(self) -> str:
+        """The one-line human form ``path:line: RLxxx message``."""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "line_text": self.line_text,
+        }
+
+
+def package_relative(path: "str | Path") -> str:
+    """A path's position inside the ``repro`` package, as a posix string.
+
+    ``src/repro/engine/batch.py`` becomes ``engine/batch.py`` — the form
+    every scoped rule reasons about.  Paths that do not pass through a
+    ``repro`` directory (in-memory fixtures, scratch files) are returned
+    as given, so tests can hand synthetic paths like ``"service/x.py"``
+    straight to scoped rules.
+    """
+    parts = Path(path).as_posix().split("/")
+    if "repro" in parts:
+        cut = len(parts) - 1 - parts[::-1].index("repro")
+        tail = parts[cut + 1 :]
+        if tail:
+            return "/".join(tail)
+    return "/".join(p for p in parts if p not in (".", ""))
+
+
+@dataclass
+class FileContext:
+    """One parsed file, shared by every rule that inspects it."""
+
+    path: str
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def line_text(self, lineno: int) -> str:
+        """Stripped source text of 1-based ``lineno`` (empty when absent)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set ``rule_id`` / ``title`` / ``contract`` and implement
+    :meth:`check`.  ``contract`` is the one-paragraph statement of the
+    project invariant the rule enforces — it is what ``--list-rules``
+    prints, so keep it self-contained.
+    """
+
+    rule_id: str = "RL000"
+    title: str = ""
+    contract: str = ""
+
+    #: The file being checked; bound by :meth:`run` so :meth:`finding` can
+    #: anchor records without every helper threading the context through.
+    _ctx: Optional[FileContext] = None
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule inspects the file at package-relative ``relpath``."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        """Check ``ctx`` with the context bound (the framework entry point)."""
+        self._ctx = ctx
+        try:
+            yield from self.check(ctx)
+        finally:
+            self._ctx = None
+
+    def finding(self, node: "ast.AST | int", message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node`` (or a line number)."""
+        ctx = self._ctx
+        if ctx is None:
+            raise LintError(
+                f"{self.rule_id}.finding() used outside run(); go through "
+                f"check_source/run_lint"
+            )
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.rule_id,
+            path=ctx.path,
+            line=line,
+            message=message,
+            line_text=ctx.line_text(line),
+        )
+
+
+def parse_source(source: str, path: "str | Path") -> "FileContext | Finding":
+    """Parse ``source`` into a :class:`FileContext`, or an RL000 finding."""
+    posix = Path(path).as_posix()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        line = error.lineno or 1
+        lines = source.splitlines()
+        text = lines[line - 1].strip() if 1 <= line <= len(lines) else ""
+        return Finding(
+            rule=PARSE_ERROR_RULE,
+            path=posix,
+            line=line,
+            message=f"file does not parse: {error.msg}",
+            line_text=text,
+        )
+    return FileContext(
+        path=posix,
+        relpath=package_relative(posix),
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+
+
+def _suppressions(ctx: FileContext) -> Tuple[Dict[int, set], set]:
+    """Inline suppressions: per-line rule ids and file-wide rule ids."""
+    per_line: Dict[int, set] = {}
+    per_file: set = set()
+    for index, text in enumerate(ctx.lines, start=1):
+        if "reprolint" not in text:
+            continue
+        match = _DISABLE_LINE.search(text)
+        if match:
+            per_line[index] = {
+                rule.strip() for rule in match.group(1).split(",") if rule.strip()
+            }
+        match = _DISABLE_FILE.search(text)
+        if match:
+            per_file.update(
+                rule.strip() for rule in match.group(1).split(",") if rule.strip()
+            )
+    return per_line, per_file
+
+
+def _dedupe(findings: Iterable[Finding]) -> List[Finding]:
+    """Keep one finding per (rule, path, line): rules may hit a line twice."""
+    seen: set = set()
+    out: List[Finding] = []
+    for item in findings:
+        key = (item.rule, item.path, item.line)
+        if key not in seen:
+            seen.add(key)
+            out.append(item)
+    return out
+
+
+def check_source(
+    source: str,
+    path: "str | Path",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Run ``rules`` over in-memory ``source`` (the fixture-test entry point).
+
+    Applies inline suppressions but no baseline; returns findings sorted by
+    line.  ``rules`` defaults to every registered project rule.
+    """
+    if rules is None:
+        from .rules import default_rules
+
+        rules = default_rules()
+    parsed = parse_source(source, path)
+    if isinstance(parsed, Finding):
+        return [parsed]
+    per_line, per_file = _suppressions(parsed)
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(parsed.relpath):
+            continue
+        for item in rule.run(parsed):
+            if item.rule in per_file:
+                continue
+            if item.rule in per_line.get(item.line, ()):
+                continue
+            findings.append(item)
+    return sorted(_dedupe(findings), key=lambda f: (f.path, f.line, f.rule))
+
+
+def iter_python_files(paths: Sequence["str | Path"]) -> List[Path]:
+    """Every ``*.py`` file under ``paths`` (files taken as-is), sorted."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    return out
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One justified legacy finding the linter tolerates.
+
+    Matches a finding when the rule id is equal, the finding's path *ends
+    with* ``path`` (so absolute and relative invocations agree), and the
+    stripped text of the flagged line equals ``line_text``.
+    """
+
+    rule: str
+    path: str
+    line_text: str
+    justification: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.rule == self.rule
+            and Path(finding.path).as_posix().endswith(self.path)
+            and finding.line_text == self.line_text
+        )
+
+
+def load_baseline(path: "str | Path") -> List[BaselineEntry]:
+    """Read and validate a baseline file (a JSON list of entry objects)."""
+    try:
+        raw = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise LintError(f"cannot read baseline {path}: {error}") from error
+    if not isinstance(raw, list):
+        raise LintError(f"baseline {path} must be a JSON list of entries")
+    entries: List[BaselineEntry] = []
+    for item in raw:
+        missing = {"rule", "path", "line_text", "justification"} - set(item)
+        if missing:
+            raise LintError(
+                f"baseline entry {item!r} is missing keys: {sorted(missing)}"
+            )
+        if not str(item["justification"]).strip():
+            raise LintError(
+                f"baseline entry for {item['rule']} at {item['path']} needs a "
+                f"non-empty written justification"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=str(item["rule"]),
+                path=str(item["path"]),
+                line_text=str(item["line_text"]),
+                justification=str(item["justification"]),
+            )
+        )
+    return entries
+
+
+@dataclass
+class LintReport:
+    """Everything one :func:`run_lint` invocation produced."""
+
+    findings: List[Finding]
+    baselined: List[Finding]
+    checked_files: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "findings": [f.to_json() for f in self.findings],
+            "baselined": [f.to_json() for f in self.baselined],
+            "checked_files": self.checked_files,
+            "clean": self.clean,
+        }
+
+
+def run_lint(
+    paths: Sequence["str | Path"],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Sequence[BaselineEntry]] = None,
+) -> LintReport:
+    """Lint every python file under ``paths`` and fold in the baseline."""
+    if rules is None:
+        from .rules import default_rules
+
+        rules = default_rules()
+    files = iter_python_files(paths)
+    live: List[Finding] = []
+    matched: List[Finding] = []
+    for path in files:
+        findings = check_source(path.read_text(), path, rules)
+        for finding in findings:
+            if baseline and any(entry.matches(finding) for entry in baseline):
+                matched.append(finding)
+            else:
+                live.append(finding)
+    return LintReport(findings=live, baselined=matched, checked_files=len(files))

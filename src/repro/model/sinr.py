@@ -154,10 +154,10 @@ def sinr_map(
         at the target station's own location and ``0`` at other stations'
         locations (the engine-kernel convention).
     """
-    from ..engine import kernels
+    from ..engine.batch import sinr_matrix_array
 
     points, shape = _as_point_rows(xs, ys)
-    matrix = kernels.sinr_matrix(station_coordinates, powers, points, noise, alpha)
+    matrix = sinr_matrix_array(station_coordinates, powers, points, noise, alpha)
     return matrix[target_index].reshape(shape)
 
 
@@ -174,9 +174,9 @@ def strongest_station_map(
     owner of the point (Observation 2.2 guarantees it is the only candidate
     whose transmission may be received there).
     """
-    from ..engine import kernels
+    from ..engine.batch import strongest_station_array
 
     points, shape = _as_point_rows(xs, ys)
-    return kernels.strongest_station(
+    return strongest_station_array(
         station_coordinates, powers, points, alpha
     ).reshape(shape)

@@ -38,13 +38,16 @@ docstring (:mod:`repro.pointlocation`).
 from __future__ import annotations
 
 import threading
-from contextvars import ContextVar
-from typing import Dict, Protocol, Union, runtime_checkable
+from contextvars import ContextVar, Token
+from typing import TYPE_CHECKING, Dict, Protocol, Union, runtime_checkable
 
 import numpy as np
 
 from ..exceptions import PointLocationError
 from ..geometry.point import Point
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..model.network import WirelessNetwork
 
 __all__ = [
     "Locator",
@@ -73,7 +76,7 @@ class Locator(Protocol):
 
     def locate(self, point: Point) -> int: ...
 
-    def locate_batch(self, points) -> np.ndarray: ...
+    def locate_batch(self, points: object) -> np.ndarray: ...
 
 
 @runtime_checkable
@@ -85,7 +88,7 @@ class LocatorFactory(Protocol):
     ``"sharded:voronoi"``.
     """
 
-    def build(self, network, **options) -> Locator: ...
+    def build(self, network: "WirelessNetwork", **options: object) -> Locator: ...
 
 
 _LOCATORS: Dict[str, LocatorFactory] = {}
@@ -111,11 +114,11 @@ class _ComposedFactory:
     options (explicitly passed options win).
     """
 
-    def __init__(self, outer: LocatorFactory, inner_name: str):
+    def __init__(self, outer: LocatorFactory, inner_name: str) -> None:
         self._outer = outer
         self._inner_name = inner_name
 
-    def build(self, network, **options) -> Locator:
+    def build(self, network: "WirelessNetwork", **options: object) -> Locator:
         options.setdefault("inner", self._inner_name)
         return self._outer.build(network, **options)
 
@@ -178,7 +181,11 @@ def get_locator(name: "str | LocatorFactory | None" = None) -> LocatorFactory:
     return name
 
 
-def build_locator(network, name: "str | LocatorFactory | None" = None, **options) -> Locator:
+def build_locator(
+    network: "WirelessNetwork",
+    name: "str | LocatorFactory | None" = None,
+    **options: object,
+) -> Locator:
     """Resolve and build in one call: the service-layer lookup hook.
 
     ``build_locator(network, "sharded:voronoi", shards=8)`` is exactly
@@ -207,7 +214,11 @@ def active_locator() -> LocatorFactory:
 class _LocatorSelection:
     """Result of :func:`use_locator`: effective immediately, optional context manager."""
 
-    def __init__(self, token, selected: "str | LocatorFactory"):
+    def __init__(
+        self,
+        token: "Token[Union[str, LocatorFactory]] | None",
+        selected: "str | LocatorFactory",
+    ) -> None:
         self._token = token
         self._selected = selected
 
@@ -218,7 +229,7 @@ class _LocatorSelection:
     def __enter__(self) -> LocatorFactory:
         return self.factory
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         if self._token is not None:
             _selection.reset(self._token)
             self._token = None

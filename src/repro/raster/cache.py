@@ -160,13 +160,17 @@ class TileCache:
                 raise
             with self._lock:
                 self._misses += 1
-                self._insert(key, tile)
+                self._insert_locked(key, tile)
                 self._in_flight.pop(key, None)
             event.set()
             return tile
 
-    def _insert(self, key: tuple, tile) -> None:
-        """Store ``tile`` and evict LRU entries back under budget (locked)."""
+    def _insert_locked(self, key: tuple, tile) -> None:
+        """Store ``tile`` and evict LRU entries back under budget.
+
+        The ``_locked`` suffix is the lock-discipline convention (reprolint
+        RL002): the caller holds ``self._lock`` for the whole call.
+        """
         nbytes = tile.nbytes
         if nbytes > self.max_bytes:
             self._rejected += 1

@@ -21,15 +21,30 @@ service with maximal concurrency, and returns the ``int64`` answers.
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
-from ..engine.batch import as_points_array
+from ..engine.batch import PointsLike, as_points_array
 from ..exceptions import ServiceError
 from ..pointlocation.registry import Locator, build_locator
 from .batcher import MicroBatcher
 from .stats import ServiceStats, StatsSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..geometry.point import Point
+    from ..model.network import WirelessNetwork
+
+#: One query point in any form locate() accepts.
+PointLike = Union["Point", Tuple[float, float], "np.ndarray"]
 
 __all__ = ["QueryService", "LocatorRouter", "serve_points"]
 
@@ -58,12 +73,12 @@ class QueryService:
 
     def __init__(
         self,
-        network,
+        network: "WirelessNetwork",
         locator: Union[str, Locator, None] = "voronoi",
         *,
         build_options: Optional[Mapping[str, object]] = None,
-        **batcher_options,
-    ):
+        **batcher_options: object,
+    ) -> None:
         self.network = network
         if locator is None or isinstance(locator, str):
             self.locator = build_locator(network, locator, **dict(build_options or {}))
@@ -98,11 +113,11 @@ class QueryService:
     async def __aenter__(self) -> "QueryService":
         return await self.start()
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.stop(drain=exc_info[0] is None)
 
     # -- queries ---------------------------------------------------------
-    async def locate(self, point) -> int:
+    async def locate(self, point: "PointLike") -> int:
         """Answer one query: the heard station's index, or ``-1`` for silence.
 
         The answer is bit-identical to the locator's own ``locate_batch``
@@ -111,7 +126,7 @@ class QueryService:
         """
         return await self._batcher.submit(point)
 
-    async def locate_many(self, points) -> np.ndarray:
+    async def locate_many(self, points: PointsLike) -> np.ndarray:
         """Submit a whole batch concurrently; answers in query order (int64).
 
         Every point becomes an individual service query (they may be split
@@ -152,10 +167,10 @@ class LocatorRouter:
 
     def __init__(
         self,
-        network,
+        network: "WirelessNetwork",
         locators: Union[Iterable[str], Mapping[str, Mapping[str, object]]],
-        **batcher_options,
-    ):
+        **batcher_options: object,
+    ) -> None:
         if isinstance(locators, Mapping):
             named: Dict[str, Mapping[str, object]] = dict(locators)
         else:
@@ -183,7 +198,7 @@ class LocatorRouter:
     async def __aenter__(self) -> "LocatorRouter":
         return await self.start()
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.stop(drain=exc_info[0] is None)
 
     # -- routing ---------------------------------------------------------
@@ -200,10 +215,10 @@ class LocatorRouter:
     def locator_names(self) -> Tuple[str, ...]:
         return tuple(sorted(self._services))
 
-    async def locate(self, name: str, point) -> int:
+    async def locate(self, name: str, point: "PointLike") -> int:
         return await self.service(name).locate(point)
 
-    async def locate_many(self, name: str, points) -> np.ndarray:
+    async def locate_many(self, name: str, points: PointsLike) -> np.ndarray:
         return await self.service(name).locate_many(points)
 
     def stats_snapshots(self) -> Dict[str, StatsSnapshot]:
@@ -214,14 +229,14 @@ class LocatorRouter:
 
 
 def serve_points(
-    network,
-    points,
+    network: "WirelessNetwork",
+    points: PointsLike,
     locator: Union[str, Locator, None] = "voronoi",
     *,
     build_options: Optional[Mapping[str, object]] = None,
     return_stats: bool = False,
-    **batcher_options,
-):
+    **batcher_options: object,
+) -> "np.ndarray | Tuple[np.ndarray, StatsSnapshot]":
     """Serve an array of points through a temporary service, synchronously.
 
     The script-facing facade: runs its own event loop, submits every point

@@ -26,6 +26,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Iterable, Sequence
 
+from ..exceptions import ServiceError
+
 __all__ = ["ServiceStats", "StatsSnapshot"]
 
 #: Default number of wait / latency samples retained for percentiles.
@@ -82,7 +84,7 @@ class ServiceStats:
 
     def __init__(self, reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
         if reservoir_size < 1:
-            raise ValueError("reservoir_size must be >= 1")
+            raise ServiceError("reservoir_size must be >= 1")
         self.submitted = 0
         self.completed = 0
         self.cancelled = 0

@@ -29,6 +29,7 @@ from typing import List
 import numpy as np
 
 from ..engine.batch import as_points_array
+from ..exceptions import WorkloadError
 
 __all__ = [
     "poisson_schedule",
@@ -47,9 +48,9 @@ def poisson_schedule(count: int, rate: float, seed: int = 0) -> np.ndarray:
     exponential inter-arrival gaps, starting at the first gap.
     """
     if count < 0:
-        raise ValueError("count must be >= 0")
+        raise WorkloadError("count must be >= 0")
     if rate <= 0.0:
-        raise ValueError("rate must be positive")
+        raise WorkloadError("rate must be positive")
     rng = random.Random(seed)
     gaps = [rng.expovariate(rate) for _ in range(count)]
     return np.cumsum(np.asarray(gaps, dtype=float)) if count else np.empty(0)
@@ -62,11 +63,11 @@ def burst_schedule(count: int, burst_size: int, gap: float) -> np.ndarray:
     ``gap`` seconds, and so on (the last burst may be partial).
     """
     if count < 0:
-        raise ValueError("count must be >= 0")
+        raise WorkloadError("count must be >= 0")
     if burst_size < 1:
-        raise ValueError("burst_size must be >= 1")
+        raise WorkloadError("burst_size must be >= 1")
     if gap < 0.0:
-        raise ValueError("gap must be >= 0")
+        raise WorkloadError("gap must be >= 0")
     return (np.arange(count) // burst_size) * gap
 
 
@@ -80,7 +81,7 @@ async def run_scheduled(service, points, offsets) -> np.ndarray:
     pts = as_points_array(points)
     offsets = np.asarray(offsets, dtype=float)
     if offsets.shape != (len(pts),):
-        raise ValueError(
+        raise WorkloadError(
             f"expected one offset per point ({len(pts)}), got {offsets.shape}"
         )
     loop = asyncio.get_running_loop()
@@ -122,7 +123,7 @@ async def run_closed_loop(service, points, clients: int = 8) -> np.ndarray:
     """
     pts = as_points_array(points)
     if clients < 1:
-        raise ValueError("clients must be >= 1")
+        raise WorkloadError("clients must be >= 1")
     answers = np.full(len(pts), 0, dtype=np.int64)
 
     async def client(first: int) -> None:

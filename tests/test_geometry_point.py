@@ -6,6 +6,7 @@ import math
 
 import pytest
 
+from repro.exceptions import GeometryError
 from repro.geometry import (
     ORIGIN,
     Point,
@@ -95,7 +96,7 @@ class TestHelpers:
         assert centroid([Point(0, 0), Point(2, 0), Point(1, 3)]) == Point(1, 1)
 
     def test_centroid_of_empty_collection_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GeometryError):
             centroid([])
 
     def test_cross_and_orientation_signs(self):

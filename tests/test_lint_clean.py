@@ -1,0 +1,55 @@
+"""Tier-1 gate: reprolint runs clean over ``src/repro``.
+
+This is the enforcement half of the linter: the rules in
+:mod:`repro.lint.rules` encode real project contracts (lock discipline,
+chunk-budgeted kernel entry, float32 containment, ...), and this test pins
+the tree at zero live findings so a violation fails the ordinary test
+suite — no extra CI leg required for the contract to hold.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import load_baseline, run_lint
+from repro.lint.cli import DEFAULT_BASELINE
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def _report():
+    baseline = load_baseline(DEFAULT_BASELINE) if DEFAULT_BASELINE.exists() else []
+    return run_lint([SRC], baseline=baseline), baseline
+
+
+def test_src_tree_has_zero_live_findings():
+    report, _ = _report()
+    details = "\n".join(finding.render() for finding in report.findings)
+    assert report.clean, f"reprolint findings in src/repro:\n{details}"
+    # Sanity: the run actually covered the tree (not an empty glob).
+    assert report.checked_files > 50
+
+
+def test_no_stale_baseline_entries():
+    """Every baseline entry still matches a real finding.
+
+    A baseline entry whose code was since fixed (or rewritten) is dead
+    weight that could silently mask a *new* finding on a similar line, so
+    staleness is itself an error.
+    """
+    report, baseline = _report()
+    for entry in baseline:
+        assert any(entry.matches(finding) for finding in report.baselined), (
+            f"stale baseline entry: {entry.rule} at {entry.path} "
+            f"({entry.line_text!r}) no longer matches any finding — remove it"
+        )
+
+
+def test_every_baseline_entry_is_justified():
+    _, baseline = _report()
+    for entry in baseline:
+        assert len(entry.justification.split()) >= 8, (
+            f"baseline entry {entry.rule} at {entry.path} needs a written "
+            f"justification, not a token"
+        )

@@ -720,7 +720,7 @@ class TestRouterAndFacade:
         assert snapshot.wait_p99 == pytest.approx(0.005, abs=1e-9)
         assert snapshot.latency_p99 == pytest.approx(0.05, abs=1e-9)
         assert snapshot.mean_batch_size == 5.0
-        with pytest.raises(ValueError):
+        with pytest.raises(ServiceError):
             ServiceStats(reservoir_size=0)
 
     def test_micro_batcher_accepts_point_objects(self, network):
