@@ -254,7 +254,6 @@ def test_backend_comparison(workload):
         {
             "stations": STATION_COUNT,
             "queries": QUERY_COUNT,
-            "quick": QUICK,
             "backends": recorded,
         },
     )

@@ -123,7 +123,6 @@ def test_strongest_station_speedup_gate(workload):
         {
             "stations": STATION_COUNT,
             "queries": QUERY_COUNT,
-            "quick": QUICK,
             "backends": results,
             "strongest_speedup_vs_numpy": round(speedup, 3),
             "verify_fraction": round(verify_fraction, 6),

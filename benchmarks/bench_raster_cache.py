@@ -24,6 +24,7 @@ import time
 import numpy as np
 import pytest
 
+from persist import record_benchmark
 from repro import Point, SINRDiagram, TileCache
 from repro.workloads import uniform_random_network
 
@@ -123,6 +124,20 @@ def test_warm_cache_beats_uncached_rasterisation(workload):
     speedup = uncached_seconds / warm_seconds
     print(f"warm cache vs uncached: {speedup:.1f}x "
           f"(cold pass overhead: {cold_seconds / uncached_seconds:.2f}x)")
+
+    record_benchmark(
+        "raster_cache",
+        {
+            "stations": STATION_COUNT,
+            "resolution": RESOLUTION,
+            "requests": per_request,
+            "uncached_seconds": round(uncached_seconds, 4),
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "cold_hit_rate": round(cold_stats.hit_rate, 4),
+            "warm_speedup_vs_uncached": round(speedup, 2),
+        },
+    )
 
     # The warm cache must amortise: the default floor is the acceptance 5x
     # (REPRO_BENCH_MIN_SPEEDUP overrides for slow or noisy runners).

@@ -33,6 +33,7 @@ import time
 import numpy as np
 import pytest
 
+from persist import record_benchmark
 from repro.pointlocation import build_locator
 from repro.service import QueryService, serve_points
 from repro.workloads import (
@@ -119,6 +120,20 @@ def test_micro_batching_beats_per_query_serving(workload):
     overhead = batched_seconds / direct_seconds
     print(f"micro-batched vs per-query: {speedup:.1f}x; "
           f"overhead vs direct: {overhead:.1f}x")
+
+    record_benchmark(
+        "service",
+        {
+            "stations": STATION_COUNT,
+            "queries": QUERY_COUNT,
+            "direct_qps": round(QUERY_COUNT / direct_seconds, 1),
+            "per_query_qps": round(QUERY_COUNT / floor_seconds, 1),
+            "micro_batched_qps": round(QUERY_COUNT / batched_seconds, 1),
+            "mean_batch_size": round(batched_stats.mean_batch_size, 1),
+            "speedup_vs_per_query": round(speedup, 2),
+            "overhead_vs_direct": round(overhead, 2),
+        },
+    )
 
     # Micro-batching must amortise: the default floor is the acceptance 5x
     # (REPRO_BENCH_MIN_SPEEDUP overrides for slow or noisy runners).

@@ -24,6 +24,7 @@ import time
 import numpy as np
 import pytest
 
+from persist import record_benchmark
 from repro import Point
 from repro.pointlocation import get_locator
 from repro.workloads import random_query_array, uniform_random_network
@@ -107,6 +108,7 @@ def test_sharded_beats_flat_theorem3(workload):
             {"shards": SHARD_COUNTS[-1], "inner_options": DS_OPTIONS},
         )
     )
+    rows = {}
     for label, name, options in sweep:
         start = time.perf_counter()
         locator = get_locator(name).build(network, **options)
@@ -115,10 +117,29 @@ def test_sharded_beats_flat_theorem3(workload):
         seconds = _query_seconds(locator, queries)
         speedup = flat_seconds / seconds
         best_speedup = max(best_speedup, speedup)
+        rows[label] = {
+            "build_seconds": round(build_seconds, 4),
+            "qps": round(1.0 / seconds, 1),
+            "speedup_vs_flat": round(speedup, 3),
+        }
         print(
             f"{label:>32} {build_seconds:>8.2f} {seconds * 1e6:>9.2f} "
             f"{1.0 / seconds:>12,.0f} {speedup:>7.2f}x"
         )
+
+    record_benchmark(
+        "sharded_locate",
+        {
+            "stations": STATION_COUNT,
+            "queries": QUERY_COUNT,
+            "flat_theorem3": {
+                "build_seconds": round(flat_build, 4),
+                "qps": round(1.0 / flat_seconds, 1),
+            },
+            "configurations": rows,
+            "best_speedup_vs_flat": round(best_speedup, 3),
+        },
+    )
 
     # Sharding must pay on this workload: the best configuration beats the
     # flat structure (default floor 1.2x; REPRO_BENCH_MIN_SPEEDUP overrides

@@ -6,11 +6,14 @@ small JSON file at the repo root, keyed by the git SHA it measured, so the
 perf trajectory across PRs becomes checkable by tooling instead of living
 only in CI logs.
 
-The file holds exactly one SHA: a run against a different commit resets the
-results rather than appending, so the committed file always describes the
-tree it sits in.  Sections merge, letting independent bench modules
-(``bench_engine_batch``, ``bench_mixed_precision``) each contribute their
-own payload to one file.
+Schema 2 keeps *quick* (CI smoke, ``REPRO_BENCH_QUICK``) and *full* runs in
+separate groups, each with its own SHA: a quick smoke run at a new commit
+resets only the ``quick`` group, so the committed full-scale trajectory
+survives CI.  Within a group the file holds exactly one SHA — a run against
+a different commit resets that group's results rather than appending, so
+the committed file always describes the tree it sits in.  Sections merge,
+letting independent bench modules (``bench_engine_batch``,
+``bench_incremental_update``...) each contribute their own payload.
 """
 
 from __future__ import annotations
@@ -20,14 +23,14 @@ import os
 import subprocess
 from typing import Optional
 
-__all__ = ["BENCH_PATH", "current_git_sha", "record_benchmark"]
+__all__ = ["BENCH_PATH", "current_git_sha", "quick_mode", "record_benchmark"]
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: Default output path, at the repo root next to ROADMAP.md.
 BENCH_PATH = os.path.join(_REPO_ROOT, "BENCH_engine.json")
 
-_SCHEMA = 1
+_SCHEMA = 2
 
 
 def current_git_sha() -> str:
@@ -47,17 +50,31 @@ def current_git_sha() -> str:
     return os.environ.get("GITHUB_SHA", "unknown")
 
 
+def quick_mode() -> bool:
+    """Whether this run is a shrunken CI smoke (``REPRO_BENCH_QUICK``)."""
+    from repro.env import BENCH_QUICK, read_knob
+
+    return bool(read_knob(BENCH_QUICK, ""))
+
+
 def record_benchmark(
-    section: str, payload: dict, path: Optional[str] = None
+    section: str,
+    payload: dict,
+    path: Optional[str] = None,
+    quick: Optional[bool] = None,
 ) -> str:
     """Merge one bench module's results into the persisted JSON file.
 
     ``payload`` should be JSON-serialisable and carry explicit units in its
-    key names (``*_qps``, ``*_seconds``, ``speedup_vs_numpy``...).  Returns
-    the path written.  Results recorded under a different SHA than the file
-    holds are treated as a fresh run: the file is reset, not appended to.
+    key names (``*_qps``, ``*_seconds``, ``speedup_vs_numpy``...).  The
+    result lands in the ``quick`` or ``full`` group — by default whichever
+    :func:`quick_mode` says this run is.  Each group is keyed by the git
+    SHA it measured; recording under a different SHA resets that group
+    (never the other one), so CI smoke can't overwrite full trajectory
+    data.  Returns the path written.
     """
     path = path or BENCH_PATH
+    group = "quick" if (quick_mode() if quick is None else quick) else "full"
     sha = current_git_sha()
     data: dict = {}
     try:
@@ -65,9 +82,13 @@ def record_benchmark(
             data = json.load(handle)
     except (OSError, ValueError):
         data = {}
-    if not isinstance(data, dict) or data.get("git_sha") != sha:
-        data = {"schema": _SCHEMA, "git_sha": sha, "results": {}}
-    data.setdefault("results", {})[section] = payload
+    if not isinstance(data, dict) or data.get("schema") != _SCHEMA:
+        data = {"schema": _SCHEMA}
+    slot = data.get(group)
+    if not isinstance(slot, dict) or slot.get("git_sha") != sha:
+        slot = {"git_sha": sha, "results": {}}
+        data[group] = slot
+    slot.setdefault("results", {})[section] = payload
     tmp = f"{path}.tmp"
     with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)

@@ -40,6 +40,7 @@ from .model import (
     DEFAULT_ALPHA,
     DEFAULT_BETA,
     NO_RECEPTION,
+    NetworkDelta,
     RasterDiagram,
     ReceptionZone,
     SINRDiagram,
@@ -59,6 +60,7 @@ __all__ = [
     "GeometryError",
     "NO_RECEPTION",
     "NetworkConfigurationError",
+    "NetworkDelta",
     "Point",
     "PointLocationError",
     "RasterCacheError",

@@ -26,6 +26,7 @@ __all__ = [
     "KNOBS",
     "ENGINE_CHUNK_BYTES",
     "ENGINE_WORKERS",
+    "SERVICE_DRAIN_TIMEOUT",
     "BENCH_QUICK",
     "BENCH_MIN_SPEEDUP",
     "read_knob",
@@ -37,6 +38,9 @@ ENGINE_CHUNK_BYTES = "REPRO_ENGINE_CHUNK_BYTES"
 
 #: Worker-process count of the multiprocess engine backend.
 ENGINE_WORKERS = "REPRO_ENGINE_WORKERS"
+
+#: Seconds a network swap waits for the previous epoch's batches to drain.
+SERVICE_DRAIN_TIMEOUT = "REPRO_SERVICE_DRAIN_TIMEOUT"
 
 #: Shrinks benchmark workloads for CI smoke runs.
 BENCH_QUICK = "REPRO_BENCH_QUICK"
@@ -67,6 +71,14 @@ _DECLARED: Tuple[EnvKnob, ...] = (
         name=ENGINE_WORKERS,
         default="os.cpu_count()",
         description="worker-process count of the multiprocess engine backend",
+    ),
+    EnvKnob(
+        name=SERVICE_DRAIN_TIMEOUT,
+        default="30",
+        description=(
+            "seconds QueryService.swap_network waits for the previous "
+            "epoch's in-flight batches to drain before raising"
+        ),
     ),
     EnvKnob(
         name=BENCH_QUICK,

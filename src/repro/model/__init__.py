@@ -7,6 +7,13 @@ SINR model of Section 2.2 (:class:`WirelessNetwork`), the reception zones
 reception zones (:class:`SINRDiagram`).
 """
 
+from .delta import (
+    NetworkDelta,
+    add_station,
+    diff_networks,
+    move_station,
+    remove_station,
+)
 from .diagram import NO_RECEPTION, RasterDiagram, SINRDiagram
 from .network import DEFAULT_ALPHA, DEFAULT_BETA, WirelessNetwork
 from .onedim import (
@@ -31,13 +38,18 @@ __all__ = [
     "DEFAULT_ALPHA",
     "DEFAULT_BETA",
     "NO_RECEPTION",
+    "NetworkDelta",
     "OneDimensionalReception",
     "RasterDiagram",
     "ReceptionZone",
     "SINRDiagram",
     "Station",
     "WirelessNetwork",
+    "add_station",
     "colinear_reception_interval",
+    "diff_networks",
+    "move_station",
+    "remove_station",
     "is_positive_colinear",
     "two_station_fatness_ratio",
     "two_station_reception_interval",

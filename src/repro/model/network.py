@@ -343,12 +343,28 @@ class WirelessNetwork:
         )
 
     def voronoi_diagram(self) -> VoronoiDiagram:
-        """Voronoi diagram of the station locations (Observation 2.2)."""
-        return VoronoiDiagram(self.locations())
+        """Voronoi diagram of the station locations (Observation 2.2).
+
+        Built once per network and cached like :attr:`coords`; immutability
+        keeps the cache consistent, and every mutator returns a fresh network
+        whose diagram is rebuilt on first use.
+        """
+        cached = self.__dict__.get("_voronoi")
+        if cached is None:
+            cached = VoronoiDiagram(self.locations())
+            self.__dict__["_voronoi"] = cached
+        return cached
 
     def station_kdtree(self) -> KDTree:
-        """A k-d tree over station locations for nearest-station queries."""
-        return KDTree(self.locations())
+        """A k-d tree over station locations for nearest-station queries.
+
+        Cached per network, same contract as :meth:`voronoi_diagram`.
+        """
+        cached = self.__dict__.get("_kdtree")
+        if cached is None:
+            cached = KDTree(self.locations())
+            self.__dict__["_kdtree"] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Transformations (all return new networks)
@@ -434,24 +450,54 @@ class WirelessNetwork:
         return sub
 
     def with_station_moved(self, index: int, location: Point) -> "WirelessNetwork":
-        """The network with station ``index`` relocated (Figure 1(B))."""
+        """The network with station ``index`` relocated (Figure 1(B)).
+
+        The coordinate cache of the copy is seeded by patching one row of
+        this network's :attr:`coords` and the (unchanged) power array is
+        shared outright — both are read-only, so sharing is safe, and a
+        single-station move in a dynamic-network update loop stays ``O(n)``
+        instead of re-deriving every array from the station objects.
+        Everything location-dependent (``fingerprint``, ``coords32``, the
+        kdtree/Voronoi caches) is left unseeded and rebuilds on first use.
+        """
         stations = list(self.stations)
         stations[index] = stations[index].moved_to(location)
-        return WirelessNetwork(
+        moved = WirelessNetwork(
             stations=tuple(stations), noise=self.noise, beta=self.beta, alpha=self.alpha
         )
+        coords = self.coords.copy()
+        coords[index, 0] = moved.stations[index].x
+        coords[index, 1] = moved.stations[index].y
+        coords.setflags(write=False)
+        moved.__dict__["_coords"] = coords
+        moved.__dict__["_powers"] = self.powers_array()
+        return moved
 
     def with_noise(self, noise: float) -> "WirelessNetwork":
-        """The network with a different background noise."""
-        return WirelessNetwork(
+        """The network with a different background noise.
+
+        The station set is unchanged, so the copy shares this network's
+        read-only coordinate and power arrays; the noise-dependent
+        ``fingerprint`` is not seeded and recomputes on first use.
+        """
+        changed = WirelessNetwork(
             stations=self.stations, noise=noise, beta=self.beta, alpha=self.alpha
         )
+        changed.__dict__["_coords"] = self.coords
+        changed.__dict__["_powers"] = self.powers_array()
+        return changed
 
     def with_beta(self, beta: float) -> "WirelessNetwork":
-        """The network with a different reception threshold."""
-        return WirelessNetwork(
+        """The network with a different reception threshold.
+
+        Shares the read-only station arrays like :meth:`with_noise`.
+        """
+        changed = WirelessNetwork(
             stations=self.stations, noise=self.noise, beta=beta, alpha=self.alpha
         )
+        changed.__dict__["_coords"] = self.coords
+        changed.__dict__["_powers"] = self.powers_array()
+        return changed
 
     def noise_folded_into_station(self, index: int) -> "WirelessNetwork":
         """Replace the background noise by an equivalent extra station.

@@ -49,6 +49,7 @@ from .bounds import (
     improved_radius_bounds,
     measured_radius_bounds,
     radius_bounds,
+    station_reaches,
 )
 from .brp import BoundaryCover, ray_sweep_boundary_cells, reconstruct_boundary_cells
 from .ds import PointLocationAnswer, PointLocationStructure, PreprocessingReport
@@ -76,7 +77,7 @@ from .segment_test import (
     SegmentTestResult,
     SturmSegmentTest,
 )
-from .sharded import ShardedLocator, ShardInfo
+from .sharded import ShardedLocator, ShardInfo, ShardUpdateReport
 
 __all__ = [
     "BoundaryCover",
@@ -93,6 +94,7 @@ __all__ = [
     "SegmentTest",
     "SegmentTestResult",
     "ShardInfo",
+    "ShardUpdateReport",
     "ShardedLocator",
     "SpatialPartitioner",
     "SturmSegmentTest",
@@ -112,5 +114,6 @@ __all__ = [
     "ray_sweep_boundary_cells",
     "reconstruct_boundary_cells",
     "register_locator",
+    "station_reaches",
     "use_locator",
 ]

@@ -27,6 +27,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..exceptions import PointLocationError
 from ..geometry.fatness import theoretical_fatness_bound
 from ..geometry.point import Point
@@ -41,6 +43,7 @@ __all__ = [
     "improved_radius_bounds",
     "measured_radius_bounds",
     "radius_bounds",
+    "station_reaches",
 ]
 
 
@@ -80,6 +83,44 @@ def explicit_radius_bounds(network: WirelessNetwork, index: int) -> RadiusBounds
     delta_lower = kappa / (math.sqrt(beta * (n - 1 + noise * kappa * kappa)) + 1.0)
     Delta_upper = kappa / (math.sqrt(beta * (1.0 + noise * kappa * kappa)) - 1.0)
     return RadiusBounds(delta_lower=delta_lower, Delta_upper=Delta_upper)
+
+
+def station_reaches(network: WirelessNetwork) -> np.ndarray:
+    """Theorem 4.1 enclosing-radius upper bounds for *every* station at once.
+
+    The vectorised twin of per-index :func:`explicit_radius_bounds`
+    ``Delta_upper`` values: one ``(n,)`` float array, with ``0.0`` for
+    degenerate stations (another station shares the location — their zone is
+    the single point ``{s_i}``, so a zero reach is exact).  One distance
+    matrix replaces ``n`` scalar nearest-neighbour scans, which is what lets
+    the sharded locator recompute all routing boxes on every incremental
+    update: the reach of an *untouched* station still shifts whenever its
+    nearest neighbour moved, and ``Delta_upper`` is not monotone in that
+    distance once noise is positive, so stale reaches are not conservative.
+
+    Requires the Theorem 4.1 regime (uniform power, ``beta > 1``).
+    """
+    if not network.is_uniform_power():
+        raise PointLocationError(
+            "the radius bounds of Theorem 4.1 require a uniform power network"
+        )
+    if network.beta <= 1.0:
+        raise PointLocationError(
+            "the radius bounds of Theorem 4.1 require beta > 1"
+        )
+    coords = network.coords
+    deltas = coords[:, None, :] - coords[None, :, :]
+    squared = np.einsum("ijk,ijk->ij", deltas, deltas)
+    np.fill_diagonal(squared, np.inf)
+    kappa_squared = squared.min(axis=1)
+    kappa = np.sqrt(kappa_squared)
+
+    out = np.zeros(len(network), dtype=float)
+    live = kappa > 0.0
+    out[live] = kappa[live] / (
+        np.sqrt(network.beta * (1.0 + network.noise * kappa_squared[live])) - 1.0
+    )
+    return out
 
 
 def improved_radius_bounds(

@@ -24,6 +24,20 @@ answers query batches in three steps:
    first, matching the brute-force rule), so the final answers are exactly
    those of :class:`~repro.pointlocation.naive.BruteForceLocator`.
 
+Because the answers are verified against the full network, they are exact
+for *any* assignment of stations to shards — the partition affects only how
+much candidate work the routing saves.  That partition-independence is what
+makes **incremental updates** sound: :meth:`ShardedLocator.updated` applies
+a :class:`~repro.model.delta.NetworkDelta` by rebuilding only the shards
+whose station sets changed, re-placing arriving/relocated stations into the
+nearest existing shard rather than re-partitioning, and recomputing every
+routing box against the new network (an untouched station's certified reach
+still shifts when its nearest neighbour moved, and the Theorem 4.1 bound is
+not monotone in that distance under noise — stale boxes would not be
+conservative).  Unchanged shards keep their already-built inner locator
+object: its subnetwork view contains exactly the same stations, and inner
+proposals never depend on the rest of the network.
+
 The locator registers as ``"sharded"``; the composed spelling
 ``"sharded:<inner>"`` (e.g. ``"sharded:theorem3"``) selects the inner
 locator by name through the registry.  Because both the inner proposals and
@@ -33,6 +47,7 @@ dispatch inherits whatever backend is active (numpy, numba, multiprocess).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -41,11 +56,12 @@ import numpy as np
 from ..engine.batch import NO_RECEPTION, PointsLike, as_points_array, received_at
 from ..exceptions import PointLocationError
 from ..geometry.point import Point
+from ..model.delta import NetworkDelta, diff_networks
 from ..model.network import WirelessNetwork
-from .bounds import explicit_radius_bounds
+from .bounds import station_reaches
 from .registry import Locator, get_locator, register_locator
 
-__all__ = ["ShardedLocator", "ShardInfo"]
+__all__ = ["ShardedLocator", "ShardInfo", "ShardUpdateReport"]
 
 
 @dataclass(frozen=True)
@@ -67,6 +83,55 @@ class ShardInfo:
 
     def __len__(self) -> int:
         return len(self.indices)
+
+
+@dataclass(frozen=True)
+class ShardUpdateReport:
+    """What :meth:`ShardedLocator.updated` actually did (the rebuild ledger).
+
+    Attached to the returned locator as ``last_update`` so property tests and
+    benchmarks can assert that an incremental update rebuilt exactly the
+    expected shard subset — positions refer to the *previous* locator's shard
+    list.
+
+    Attributes:
+        full_rebuild: True when the update fell back to a from-scratch build
+            (parameter change, or no shard survived to anchor placement);
+            then ``rebuilt_positions`` covers the fresh locator's shards and
+            the other tuples are empty.
+        delta: the applied :class:`~repro.model.delta.NetworkDelta`.
+        rebuilt_positions: shards whose station set changed — their inner
+            locator was built anew over the new subnetwork.
+        reused_positions: shards whose station set is unchanged — the same
+            inner locator object serves on (only the routing box was
+            recomputed).
+        retired_positions: shards left empty by the delta and dropped.
+    """
+
+    full_rebuild: bool
+    delta: NetworkDelta
+    rebuilt_positions: Tuple[int, ...]
+    reused_positions: Tuple[int, ...]
+    retired_positions: Tuple[int, ...]
+
+    @property
+    def rebuilt(self) -> int:
+        return len(self.rebuilt_positions)
+
+    @property
+    def reused(self) -> int:
+        return len(self.reused_positions)
+
+    def describe(self) -> str:
+        """One-line summary for benchmark output."""
+        if self.full_rebuild:
+            return f"update[{self.delta.describe()}] full rebuild"
+        return (
+            f"update[{self.delta.describe()}] "
+            f"{self.rebuilt} rebuilt / {self.reused} reused"
+            + (f" / {len(self.retired_positions)} retired"
+               if self.retired_positions else "")
+        )
 
 
 class ShardedLocator:
@@ -95,6 +160,44 @@ class ShardedLocator:
         partitioner: object = "kd",
         inner_options: Optional[dict] = None,
     ):
+        self._validate_network(network)
+        if shards < 1:
+            raise PointLocationError(f"shard count must be >= 1, got {shards}")
+
+        from .partition import get_partitioner
+
+        self.network = network
+        self._inner_arg = inner
+        self.inner_name = inner if isinstance(inner, str) else getattr(inner, "name", "custom")
+        self._requested_shards = shards
+        self._partitioner_spec = partitioner
+        self.partitioner = get_partitioner(partitioner, shards)
+        self._inner_factory = get_locator(inner)
+        self.inner_options = dict(inner_options or {})
+        self.last_update: Optional[ShardUpdateReport] = None
+
+        coords = network.coords
+        reaches = station_reaches(network)
+        self._shards: List[ShardInfo] = []
+        for group in self.partitioner.partition(coords):
+            if len(group) == 0:
+                continue
+            group = np.asarray(group, dtype=np.int64)
+            self._shards.append(
+                ShardInfo(
+                    indices=group,
+                    query_box=self._query_box(coords, group, reaches),
+                    locator=self._build_inner(network, group),
+                )
+            )
+
+    @classmethod
+    def build(cls, network: WirelessNetwork, **options) -> "ShardedLocator":
+        """Registry factory: options forward to the constructor."""
+        return cls(network, **options)
+
+    @staticmethod
+    def _validate_network(network: WirelessNetwork) -> None:
         if not network.is_uniform_power():
             raise PointLocationError(
                 "sharded point location requires a uniform power network "
@@ -104,63 +207,211 @@ class ShardedLocator:
             raise PointLocationError("sharded point location requires beta > 1")
         if network.alpha != 2.0:
             raise PointLocationError("sharded point location requires alpha = 2")
-        if shards < 1:
-            raise PointLocationError(f"shard count must be >= 1, got {shards}")
 
-        from .partition import get_partitioner
+    @staticmethod
+    def _query_box(
+        coords: np.ndarray, group: np.ndarray, reaches: np.ndarray
+    ) -> Tuple[float, float, float, float]:
+        """Station bounding box inflated by the shard's largest certified reach."""
+        points = coords[group]
+        reach = float(reaches[group].max())
+        return (
+            float(points[:, 0].min() - reach),
+            float(points[:, 1].min() - reach),
+            float(points[:, 0].max() + reach),
+            float(points[:, 1].max() + reach),
+        )
 
-        self.network = network
-        self.inner_name = inner if isinstance(inner, str) else getattr(inner, "name", "custom")
-        self.partitioner = get_partitioner(partitioner, shards)
-        inner_factory = get_locator(inner)
-        options = dict(inner_options or {})
+    def _build_inner(
+        self, network: WirelessNetwork, group: np.ndarray
+    ) -> Optional[Locator]:
+        """The shard's inner locator — None for single-station shards.
 
-        coords = network.coords
-        reaches = self._station_reaches()
-        self._shards: List[ShardInfo] = []
-        for group in self.partitioner.partition(coords):
-            if len(group) == 0:
-                continue
-            group = np.asarray(group, dtype=np.int64)
-            points = coords[group]
-            reach = float(reaches[group].max())
-            query_box = (
-                float(points[:, 0].min() - reach),
-                float(points[:, 1].min() - reach),
-                float(points[:, 0].max() + reach),
-                float(points[:, 1].max() + reach),
-            )
-            if len(group) == 1:
-                # Too small for a subnetwork; the lone station is proposed
-                # directly and settled by the full-network verification.
-                inner_locator = None
-            else:
-                inner_locator = inner_factory.build(
-                    network.subnetwork(group), **options
-                )
-            self._shards.append(
-                ShardInfo(indices=group, query_box=query_box, locator=inner_locator)
-            )
-
-    @classmethod
-    def build(cls, network: WirelessNetwork, **options) -> "ShardedLocator":
-        """Registry factory: options forward to the constructor."""
-        return cls(network, **options)
-
-    def _station_reaches(self) -> np.ndarray:
-        """Certified per-station hearing radius (Theorem 4.1 upper bound).
-
-        A degenerate zone (another station shares the location) is the single
-        point ``{s_i}``: reach 0 keeps the station inside its shard's closed
-        query box, which is all the routing needs.
+        A lone station is too small for a subnetwork; it is proposed directly
+        and settled by the full-network verification.
         """
-        network = self.network
-        out = np.zeros(len(network), dtype=float)
-        for index in range(len(network)):
-            if network.location_is_shared(index):
+        if len(group) == 1:
+            return None
+        return self._inner_factory.build(
+            network.subnetwork(group), **self.inner_options
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental updates
+    # ------------------------------------------------------------------
+    def updated(
+        self,
+        new_network: WirelessNetwork,
+        delta: Optional[NetworkDelta] = None,
+    ) -> "ShardedLocator":
+        """A locator for ``new_network``, rebuilding only the touched shards.
+
+        Args:
+            new_network: the mutated network to serve.
+            delta: the :class:`~repro.model.delta.NetworkDelta` from this
+                locator's network to ``new_network`` — as returned by the
+                ``repro.model.delta`` mutator helpers — or None to recover
+                it via :func:`~repro.model.delta.diff_networks`.
+
+        Surviving stations stay in their shard (indices remapped through the
+        delta); arriving and relocated stations join the shard whose
+        surviving-station bounding box is nearest to their new location
+        (ties to the lowest shard position — see :meth:`nearest_shard`).
+        Shards that neither lost nor gained a station keep their inner
+        locator object; every routing box is recomputed against the new
+        network.  Answers are bit-identical to a from-scratch build because
+        verification always runs over the full new station set — the
+        partition only shapes the candidate work.
+
+        Falls back to a full rebuild (reported via ``last_update``) when the
+        delta changes ``noise``/``beta``/``alpha`` or leaves no surviving
+        shard to anchor placements.  The returned locator's ``last_update``
+        is a :class:`ShardUpdateReport`; this locator is left untouched.
+        """
+        if delta is None:
+            delta = diff_networks(self.network, new_network)
+        if delta.old_count != len(self.network) or delta.new_count != len(new_network):
+            raise PointLocationError(
+                f"delta spans {delta.old_count} -> {delta.new_count} stations, "
+                f"but the locator serves {len(self.network)} and the new "
+                f"network has {len(new_network)}"
+            )
+        if delta.params_changed:
+            return self._full_rebuild(new_network, delta)
+        self._validate_network(new_network)
+
+        new_coords = new_network.coords
+        mapping = delta.surviving_map()
+        groups: List[List[int]] = []
+        boxes: List[Optional[Tuple[float, float, float, float]]] = []
+        changed: List[bool] = []
+        for shard in self._shards:
+            mapped = mapping[shard.indices]
+            kept = mapped[mapped >= 0]
+            groups.append(kept.tolist())
+            changed.append(kept.size != len(shard))
+            if kept.size:
+                points = new_coords[kept]
+                boxes.append(
+                    (
+                        float(points[:, 0].min()),
+                        float(points[:, 1].min()),
+                        float(points[:, 0].max()),
+                        float(points[:, 1].max()),
+                    )
+                )
+            else:
+                boxes.append(None)
+
+        if all(box is None for box in boxes):
+            # Nothing survived anywhere: no box can anchor placement, and a
+            # fresh partition of the all-new station set is the right answer.
+            return self._full_rebuild(new_network, delta)
+
+        for new_index in delta.touched_new:
+            x, y = float(new_coords[new_index, 0]), float(new_coords[new_index, 1])
+            position = self.nearest_shard(boxes, x, y)
+            groups[position].append(new_index)
+            changed[position] = True
+            # Later arrivals may cluster with this one rather than with the
+            # survivors alone; grow the anchor box so placement sees them.
+            box = boxes[position]
+            boxes[position] = (
+                min(box[0], x), min(box[1], y), max(box[2], x), max(box[3], y)
+            ) if box is not None else (x, y, x, y)
+
+        reaches = station_reaches(new_network)
+        shards: List[ShardInfo] = []
+        rebuilt: List[int] = []
+        reused: List[int] = []
+        retired: List[int] = []
+        for position, (shard, members) in enumerate(zip(self._shards, groups)):
+            if not members:
+                retired.append(position)
                 continue
-            out[index] = explicit_radius_bounds(network, index).Delta_upper
-        return out
+            group = np.asarray(members, dtype=np.int64)
+            query_box = self._query_box(new_coords, group, reaches)
+            if changed[position]:
+                inner = self._build_inner(new_network, group)
+                rebuilt.append(position)
+            else:
+                inner = shard.locator
+                reused.append(position)
+            shards.append(
+                ShardInfo(indices=group, query_box=query_box, locator=inner)
+            )
+
+        clone = self._clone_with_shards(new_network, shards)
+        clone.last_update = ShardUpdateReport(
+            full_rebuild=False,
+            delta=delta,
+            rebuilt_positions=tuple(rebuilt),
+            reused_positions=tuple(reused),
+            retired_positions=tuple(retired),
+        )
+        return clone
+
+    @staticmethod
+    def nearest_shard(
+        boxes: List[Optional[Tuple[float, float, float, float]]], x: float, y: float
+    ) -> int:
+        """Placement rule for arriving stations: nearest box, ties lowest.
+
+        ``boxes`` are per-shard station bounding boxes (None for empty
+        shards).  Distance is the Euclidean distance from ``(x, y)`` to the
+        box (zero inside).  Exposed so tests can predict which shards an
+        update must rebuild.
+        """
+        best = -1
+        best_squared = math.inf
+        for position, box in enumerate(boxes):
+            if box is None:
+                continue
+            xmin, ymin, xmax, ymax = box
+            dx = max(xmin - x, 0.0, x - xmax)
+            dy = max(ymin - y, 0.0, y - ymax)
+            squared = dx * dx + dy * dy
+            if squared < best_squared:
+                best = position
+                best_squared = squared
+        if best < 0:
+            raise PointLocationError("no non-empty shard to place the station in")
+        return best
+
+    def _full_rebuild(
+        self, new_network: WirelessNetwork, delta: NetworkDelta
+    ) -> "ShardedLocator":
+        fresh = ShardedLocator(
+            new_network,
+            inner=self._inner_arg,
+            shards=self._requested_shards,
+            partitioner=self._partitioner_spec,
+            inner_options=self.inner_options,
+        )
+        fresh.last_update = ShardUpdateReport(
+            full_rebuild=True,
+            delta=delta,
+            rebuilt_positions=tuple(range(len(fresh._shards))),
+            reused_positions=(),
+            retired_positions=(),
+        )
+        return fresh
+
+    def _clone_with_shards(
+        self, network: WirelessNetwork, shards: List[ShardInfo]
+    ) -> "ShardedLocator":
+        clone = object.__new__(type(self))
+        clone.network = network
+        clone._inner_arg = self._inner_arg
+        clone.inner_name = self.inner_name
+        clone._requested_shards = self._requested_shards
+        clone._partitioner_spec = self._partitioner_spec
+        clone.partitioner = self.partitioner
+        clone._inner_factory = self._inner_factory
+        clone.inner_options = dict(self.inner_options)
+        clone._shards = shards
+        clone.last_update = None
+        return clone
 
     # ------------------------------------------------------------------
     # Queries

@@ -74,7 +74,15 @@ from .cache import (
     default_cache,
     resolve_cache,
 )
-from .tiles import Tile, TileKey, compute_tile, rasterize_tiled, tile_key
+from .tiles import (
+    Tile,
+    TileKey,
+    affected_boxes,
+    compute_tile,
+    invalidate_for_delta,
+    rasterize_tiled,
+    tile_key,
+)
 
 __all__ = [
     "CacheStats",
@@ -83,8 +91,10 @@ __all__ = [
     "Tile",
     "TileCache",
     "TileKey",
+    "affected_boxes",
     "compute_tile",
     "default_cache",
+    "invalidate_for_delta",
     "rasterize_tiled",
     "resolve_cache",
     "tile_key",

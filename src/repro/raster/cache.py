@@ -20,7 +20,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..exceptions import RasterCacheError
 
@@ -54,6 +54,11 @@ class CacheStats:
         evictions: tiles dropped to get back under the byte budget.
         rejected: computed tiles never stored because they alone exceed
             the whole budget.
+        rekeyed: tiles carried across a network swap by
+            :meth:`TileCache.invalidate_region` (their content is certified
+            unaffected by the mutation).
+        invalidated: tiles dropped by :meth:`TileCache.invalidate_region`
+            (overlapping an affected region, or swept by a full flush).
         tiles: tiles currently resident.
         stored_bytes: bytes currently resident.
         max_bytes: the configured byte budget.
@@ -63,6 +68,8 @@ class CacheStats:
     misses: int
     evictions: int
     rejected: int
+    rekeyed: int
+    invalidated: int
     tiles: int
     stored_bytes: int
     max_bytes: int
@@ -113,6 +120,8 @@ class TileCache:
         self._misses = 0
         self._evictions = 0
         self._rejected = 0
+        self._rekeyed = 0
+        self._invalidated = 0
 
     # -- lookup ----------------------------------------------------------
     def get_or_compute(self, key: tuple, factory: Callable[[], object]):
@@ -185,6 +194,82 @@ class TileCache:
             self._bytes -= old_tile.nbytes
             self._evictions += 1
 
+    # -- invalidation ----------------------------------------------------
+    def invalidate_region(
+        self,
+        old_fingerprint: str,
+        new_fingerprint: str,
+        boxes: Optional[Sequence[Tuple[float, float, float, float]]],
+    ) -> Tuple[int, int]:
+        """Carry unaffected tiles across a network swap; drop the rest.
+
+        ``boxes`` are world rectangles ``(xmin, ymin, xmax, ymax)`` that
+        certifiably contain every region where the mutation can change tile
+        content (see :func:`repro.raster.tiles.affected_boxes`).  Every
+        resident tile keyed by ``old_fingerprint`` is tested against them:
+
+        * a tile whose world rectangle intersects *any* box is dropped — a
+          changed station could be heard somewhere inside it;
+        * every other tile is **re-keyed** to ``new_fingerprint`` in place
+          (same backend, lattice and index; same LRU position), so requests
+          against the new network hit it without recomputation.
+
+        ``boxes=None`` is the conservative full flush: every
+        ``old_fingerprint`` tile is dropped (the behaviour fingerprint
+        keying alone gives).  Tiles of other fingerprints are untouched.
+        Only callers that certify the box cover — normally
+        :func:`repro.raster.tiles.invalidate_for_delta`, which falls back
+        to ``None`` whenever it cannot — should pass a box list.
+
+        Returns ``(rekeyed, dropped)`` counts.
+        """
+        if new_fingerprint == old_fingerprint:
+            raise RasterCacheError(
+                "invalidate_region needs distinct old/new fingerprints "
+                "(an unchanged network has nothing to invalidate)"
+            )
+        rekeyed = 0
+        dropped = 0
+        with self._lock:
+            survivors: "OrderedDict[tuple, object]" = OrderedDict()
+            for key, tile in self._store.items():
+                if key[0] != old_fingerprint:
+                    survivors[key] = tile
+                    continue
+                if boxes is None or self._tile_touches_any(key, boxes):
+                    self._bytes -= tile.nbytes
+                    dropped += 1
+                    continue
+                survivors[(new_fingerprint,) + key[1:]] = tile
+                rekeyed += 1
+            self._store = survivors
+            self._rekeyed += rekeyed
+            self._invalidated += dropped
+        return rekeyed, dropped
+
+    @staticmethod
+    def _tile_touches_any(
+        key: tuple, boxes: Sequence[Tuple[float, float, float, float]]
+    ) -> bool:
+        """Closed-rectangle overlap of a tile key's world extent with any box.
+
+        The key layout is the :data:`repro.raster.tiles.TileKey` tuple
+        ``(fingerprint, backend, tile_size, pitch_x, phase_x, pitch_y,
+        phase_y, tile_x, tile_y)``; tile ``t`` on an axis spans
+        ``[phase + t * size * pitch, phase + (t + 1) * size * pitch]``,
+        which contains all of its pixel centres.
+        """
+        size = key[2]
+        pitch_x, phase_x, pitch_y, phase_y, tile_x, tile_y = key[3:9]
+        xmin = phase_x + tile_x * size * pitch_x
+        xmax = phase_x + (tile_x + 1) * size * pitch_x
+        ymin = phase_y + tile_y * size * pitch_y
+        ymax = phase_y + (tile_y + 1) * size * pitch_y
+        for bx0, by0, bx1, by1 in boxes:
+            if xmin <= bx1 and bx0 <= xmax and ymin <= by1 and by0 <= ymax:
+                return True
+        return False
+
     # -- introspection ---------------------------------------------------
     def stats(self) -> CacheStats:
         """A consistent snapshot of the cache counters."""
@@ -194,6 +279,8 @@ class TileCache:
                 misses=self._misses,
                 evictions=self._evictions,
                 rejected=self._rejected,
+                rekeyed=self._rekeyed,
+                invalidated=self._invalidated,
                 tiles=len(self._store),
                 stored_bytes=self._bytes,
                 max_bytes=self.max_bytes,

@@ -30,16 +30,26 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..exceptions import PointLocationError
 from ..engine.backend import active_backend
+from ..model.delta import NetworkDelta, diff_networks
 from ..model.diagram import RasterDiagram, RasterLattice, raster_block
 from ..model.network import WirelessNetwork
 from .cache import TileCache
 
-__all__ = ["Tile", "TileKey", "tile_key", "compute_tile", "rasterize_tiled"]
+__all__ = [
+    "Tile",
+    "TileKey",
+    "affected_boxes",
+    "compute_tile",
+    "invalidate_for_delta",
+    "rasterize_tiled",
+    "tile_key",
+]
 
 #: The full cache key of one tile: ``(network fingerprint, backend, tile
 #: size, pitch_x, phase_x, pitch_y, phase_y, tile_x, tile_y)``.  The
@@ -109,6 +119,88 @@ def compute_tile(
     labels.setflags(write=False)
     sinr_values.setflags(write=False)
     return Tile(labels=labels, sinr_values=sinr_values)
+
+
+def affected_boxes(
+    old_network: WirelessNetwork,
+    new_network: WirelessNetwork,
+    delta: NetworkDelta,
+) -> List[Tuple[float, float, float, float]]:
+    """World rectangles containing every changed station's reception zone.
+
+    One box per touched station, before *and* after the mutation: the
+    station's location inflated by its certified enclosing-radius reach —
+    the same Theorem 4.1 ``Delta_upper`` bound the sharded locator routes
+    by (:func:`repro.pointlocation.bounds.station_reaches`).  A changed
+    station can be heard only inside these boxes, so a pixel outside all
+    of them keeps its *label* across the mutation — except where another
+    station's reception margin is finer than the interference shift the
+    move causes (see :func:`invalidate_for_delta` for how that residual
+    approximation is scoped).
+
+    Raises :class:`~repro.exceptions.PointLocationError` outside the
+    Theorem 4.1 regime (non-uniform power or ``beta <= 1``), where no
+    certified reach exists.
+    """
+    from ..pointlocation.bounds import station_reaches
+
+    boxes: List[Tuple[float, float, float, float]] = []
+    for network, touched, reaches in (
+        (old_network, delta.touched_old, station_reaches(old_network)),
+        (new_network, delta.touched_new, station_reaches(new_network)),
+    ):
+        coords = network.coords
+        for index in touched:
+            x, y = float(coords[index, 0]), float(coords[index, 1])
+            reach = float(reaches[index])
+            boxes.append((x - reach, y - reach, x + reach, y + reach))
+    return boxes
+
+
+def invalidate_for_delta(
+    cache: TileCache,
+    old_network: WirelessNetwork,
+    new_network: WirelessNetwork,
+    delta: Optional[NetworkDelta] = None,
+) -> Tuple[int, int]:
+    """Apply a network mutation to a tile cache: re-key far tiles, drop near.
+
+    The raster layer's incremental-update entry point.  Computes the
+    affected-region boxes for ``delta`` (recovered via
+    :func:`~repro.model.delta.diff_networks` when omitted) and calls
+    :meth:`TileCache.invalidate_region`; returns its ``(rekeyed, dropped)``
+    counts.  Falls back to dropping *every* old-fingerprint tile — exactly
+    what plain fingerprint keying would do — whenever re-keying cannot be
+    justified:
+
+    * the delta changes ``noise``/``beta``/``alpha`` (every pixel is stale);
+    * the delta is not index-preserving (station joins/leaves renumber the
+      label space and change the ``sinr_values`` row count, so retained
+      tile payloads would be shaped for the wrong network);
+    * the network is outside the Theorem 4.1 regime (no certified reach).
+
+    Scope of the approximation: a re-keyed tile's labels are exact wherever
+    reception margins exceed the interference shift of the moved stations
+    (boundary-marginal pixels of *other* stations' zones may flip — the
+    same tolerance class as cross-backend float disagreement, which the
+    keying scheme already scopes per backend), and its per-station SINR
+    values are those of the previous network.  Callers that need
+    bit-exact SINR rasters after a mutation should drop instead
+    (``cache.invalidate_region(old_fp, new_fp, None)``).
+    """
+    if delta is None:
+        delta = diff_networks(old_network, new_network)
+    old_fingerprint = old_network.fingerprint
+    new_fingerprint = new_network.fingerprint
+    if old_fingerprint == new_fingerprint:
+        return (0, 0)
+    if delta.params_changed or not delta.index_preserving:
+        return cache.invalidate_region(old_fingerprint, new_fingerprint, None)
+    try:
+        boxes = affected_boxes(old_network, new_network, delta)
+    except PointLocationError:
+        return cache.invalidate_region(old_fingerprint, new_fingerprint, None)
+    return cache.invalidate_region(old_fingerprint, new_fingerprint, boxes)
 
 
 def rasterize_tiled(

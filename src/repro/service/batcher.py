@@ -33,7 +33,13 @@ Concurrency contract
 * the :mod:`contextvars` context captured at :meth:`start` is used for
   every engine call, so ``use_backend(...)`` / ``use_locator(...)``
   selections made before starting the service apply to dispatched batches
-  even though they execute on another thread.
+  even though they execute on another thread;
+* **epoch capture**: every batch is answered by the ``locate`` function
+  installed *when the batch was sealed*.  :meth:`MicroBatcher.set_locate`
+  (the serving side of a network swap) therefore never produces a
+  mixed-epoch batch — already sealed batches drain against the old
+  function, batches sealed afterwards use the new one, and
+  :meth:`MicroBatcher.drain_inflight` awaits the boundary.
 """
 
 from __future__ import annotations
@@ -217,6 +223,35 @@ class MicroBatcher:
         self._dispatcher = None
         self._stopped = True
 
+    # -- epoch handoff ---------------------------------------------------
+    def set_locate(self, locate: Callable[[np.ndarray], np.ndarray]) -> None:
+        """Install a new batch answer function for *subsequently sealed* batches.
+
+        Must be called from the event-loop thread (like every other mutation
+        here).  Batches already sealed keep the function captured at their
+        seal time, so no batch ever mixes answers from two epochs; queued
+        but unsealed queries are answered by the new function.
+        """
+        self._locate = locate
+
+    async def drain_inflight(self, timeout: Optional[float] = None) -> None:
+        """Wait until every batch sealed so far has resolved its futures.
+
+        The epoch-swap barrier: after :meth:`set_locate`, awaiting this
+        guarantees no batch against the previous function is still running.
+        Batches sealed *after* the call are not waited on.  Raises
+        :class:`ServiceError` when ``timeout`` (seconds) expires first.
+        """
+        pending = [task for task in self._inflight if not task.done()]
+        if not pending:
+            return
+        _, not_done = await asyncio.wait(pending, timeout=timeout)
+        if not_done:
+            raise ServiceError(
+                f"{len(not_done)} in-flight batches still running after "
+                f"{timeout:g}s drain timeout"
+            )
+
     # -- submission ------------------------------------------------------
     async def submit(self, point) -> int:
         """Queue one point and await its station index (``-1`` for silence).
@@ -298,11 +333,19 @@ class MicroBatcher:
         for row, entry in enumerate(entries):
             points[row, 0] = entry.x
             points[row, 1] = entry.y
-        task = self._loop.create_task(self._run_batch(points, entries))
+        # The batch's answer function is fixed here, at seal time: a
+        # set_locate() racing with dispatch affects only later seals, so a
+        # batch never straddles two epochs.
+        task = self._loop.create_task(self._run_batch(points, entries, self._locate))
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
-    async def _run_batch(self, points: np.ndarray, entries: Sequence[_Entry]) -> None:
+    async def _run_batch(
+        self,
+        points: np.ndarray,
+        entries: Sequence[_Entry],
+        locate: Callable[[np.ndarray], np.ndarray],
+    ) -> None:
         try:
             if self._executor is not None:
                 # Context.run cannot be entered concurrently from two
@@ -310,10 +353,10 @@ class MicroBatcher:
                 # context (dispatch_workers > 1 overlaps engine calls).
                 context = self._context.copy()
                 answers = await self._loop.run_in_executor(
-                    self._executor, context.run, self._locate, points
+                    self._executor, context.run, locate, points
                 )
             else:
-                answers = self._context.copy().run(self._locate, points)
+                answers = self._context.copy().run(locate, points)
         except asyncio.CancelledError:
             self._fail_entries(
                 entries, ServiceClosedError("service stopped with the batch in flight")

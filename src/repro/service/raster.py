@@ -27,7 +27,7 @@ from typing import Callable, Optional
 
 from ..exceptions import ServiceError
 from ..model.diagram import RasterDiagram, SINRDiagram
-from ..raster import CacheStats, TileCache
+from ..raster import CacheStats, TileCache, invalidate_for_delta
 from ..raster.cache import DEFAULT_MAX_BYTES, DEFAULT_TILE_SIZE
 
 __all__ = ["RasterService"]
@@ -130,6 +130,33 @@ class RasterService:
             partial(self.diagram.summary, resolution, cache=self.cache),
         )
         return await self._run_bounded(call)
+
+    # -- network swaps ---------------------------------------------------
+    def swap_network(self, new_network, delta=None) -> tuple:
+        """Serve ``new_network`` from now on, keeping certifiably valid tiles.
+
+        Applies :func:`repro.raster.invalidate_for_delta` to the backing
+        cache — tiles no changed station's certified reach can touch are
+        re-keyed to the new network's fingerprint, overlapping tiles are
+        dropped (a full drop when re-keying cannot be justified; see that
+        function for the exact contract and its label/SINR caveats) — then
+        installs the new network and diagram.  Returns the
+        ``(rekeyed, dropped)`` counts.
+
+        Synchronous and lock-protected inside the cache, so it is safe to
+        call from async code between requests; requests already running on
+        executor threads hold their tiles by reference and complete against
+        the network they started with.
+        """
+        if new_network.fingerprint != self.network.fingerprint:
+            counts = invalidate_for_delta(
+                self.cache, self.network, new_network, delta
+            )
+        else:
+            counts = (0, 0)
+        self.network = new_network
+        self.diagram = SINRDiagram(new_network)
+        return counts
 
     # -- introspection ---------------------------------------------------
     def cache_stats(self) -> CacheStats:

@@ -21,6 +21,8 @@ service with maximal concurrency, and returns the ``int64`` answers.
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import functools
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -34,6 +36,7 @@ from typing import (
 import numpy as np
 
 from ..engine.batch import PointsLike, as_points_array
+from ..env import SERVICE_DRAIN_TIMEOUT, read_knob
 from ..exceptions import ServiceError
 from ..pointlocation.registry import Locator, build_locator
 from .batcher import MicroBatcher
@@ -41,6 +44,7 @@ from .stats import ServiceStats, StatsSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..geometry.point import Point
+    from ..model.delta import NetworkDelta
     from ..model.network import WirelessNetwork
 
 #: One query point in any form locate() accepts.
@@ -81,7 +85,9 @@ class QueryService:
     ) -> None:
         self.network = network
         if locator is None or isinstance(locator, str):
-            self.locator = build_locator(network, locator, **dict(build_options or {}))
+            self._locator_spec: Union[str, None] = locator
+            self._build_options = dict(build_options or {})
+            self.locator = build_locator(network, locator, **self._build_options)
             self.locator_name = locator if isinstance(locator, str) else getattr(
                 self.locator, "name", "<active>"
             )
@@ -94,8 +100,11 @@ class QueryService:
                 raise ServiceError(
                     "a pre-built locator must provide locate_batch(points)"
                 )
+            self._locator_spec = None
+            self._build_options = {}
             self.locator = locator
             self.locator_name = getattr(locator, "name", type(locator).__name__)
+        self._prebuilt = not (locator is None or isinstance(locator, str))
         self._batcher = MicroBatcher(self.locator.locate_batch, **batcher_options)
 
     # -- lifecycle -------------------------------------------------------
@@ -138,6 +147,76 @@ class QueryService:
             *(self._batcher.submit((x, y)) for x, y in pts)
         )
         return np.asarray(answers, dtype=np.int64)
+
+    # -- epoch swaps -----------------------------------------------------
+    async def swap_network(
+        self,
+        new_network: "WirelessNetwork",
+        delta: "Optional[NetworkDelta]" = None,
+        *,
+        locator: Optional[Locator] = None,
+        drain_old: bool = True,
+    ) -> Locator:
+        """Install ``new_network`` for new batches; drain the old epoch.
+
+        The dynamic-network handoff, in three ordered steps:
+
+        1. **Build off-loop.**  The new locator is produced on an executor
+           thread (the event loop keeps sealing batches against the old
+           epoch meanwhile): incrementally via the current locator's
+           ``updated(new_network, delta)`` when it has one (e.g.
+           :class:`~repro.pointlocation.sharded.ShardedLocator`), otherwise
+           a fresh registry build with this service's original name and
+           build options.  Pass ``locator=`` to install a pre-built one
+           instead (then ``delta`` is unused).
+        2. **Flip the epoch.**  The batcher's answer function is replaced
+           atomically from the loop thread.  Batches sealed before the flip
+           keep the old function (captured at seal time), batches sealed
+           after use the new one — no torn reads, no mixed-epoch batch, and
+           queries queued across the flip are simply answered by the new
+           epoch.  ``ServiceStats.record_swap`` stamps the update latency
+           (build + flip) and bumps the epoch counter.
+        3. **Drain.**  With ``drain_old=True`` (default) the call returns
+           only after every old-epoch batch has resolved its futures, so no
+           in-flight query is lost; the wait is bounded by the
+           ``REPRO_SERVICE_DRAIN_TIMEOUT`` knob (seconds).  ``drain_old=
+           False`` returns at the flip and lets the old epoch finish in the
+           background — cancellation-safe either way, since the flip has
+           already happened when the drain starts.
+
+        Returns the installed locator.  Safe to call before :meth:`start`
+        (it just replaces the locator).
+        """
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        if locator is None:
+            previous = self.locator
+            context = contextvars.copy_context()
+            if hasattr(previous, "updated"):
+                build = functools.partial(previous.updated, new_network, delta)
+            elif not self._prebuilt:
+                build = functools.partial(
+                    build_locator, new_network, self._locator_spec,
+                    **self._build_options,
+                )
+            else:
+                raise ServiceError(
+                    "cannot rebuild an opaque pre-built locator for a new "
+                    "network; pass locator= to swap_network"
+                )
+            locator = await loop.run_in_executor(None, context.run, build)
+        elif not hasattr(locator, "locate_batch"):
+            raise ServiceError(
+                "a pre-built locator must provide locate_batch(points)"
+            )
+        self.network = new_network
+        self.locator = locator
+        self._batcher.set_locate(locator.locate_batch)
+        self.stats.record_swap(loop.time() - started)
+        if drain_old and self.running:
+            timeout = float(read_knob(SERVICE_DRAIN_TIMEOUT, "30") or "30")
+            await self._batcher.drain_inflight(timeout=timeout)
+        return locator
 
     # -- introspection ---------------------------------------------------
     @property
@@ -220,6 +299,28 @@ class LocatorRouter:
 
     async def locate_many(self, name: str, points: PointsLike) -> np.ndarray:
         return await self.service(name).locate_many(points)
+
+    async def swap_network(
+        self,
+        new_network: "WirelessNetwork",
+        delta: "Optional[NetworkDelta]" = None,
+        *,
+        drain_old: bool = True,
+    ) -> None:
+        """Swap every routed service to ``new_network``, one epoch each.
+
+        Services are swapped in sorted-name order; each applies
+        :meth:`QueryService.swap_network` (incremental where its locator
+        supports ``updated``).  During the sweep, already-swapped services
+        answer from the new network while the rest still serve the old one —
+        per-service epochs are independent by design, exactly as their
+        batchers and stats are.
+        """
+        for name in self.locator_names:
+            await self._services[name].swap_network(
+                new_network, delta, drain_old=drain_old
+            )
+        self.network = new_network
 
     def stats_snapshots(self) -> Dict[str, StatsSnapshot]:
         return {

@@ -66,10 +66,13 @@ class StatsSnapshot:
     wait_p99: float
     latency_p50: float
     latency_p99: float
+    epoch: int
+    swaps: int
+    last_swap_seconds: float
 
     def describe(self) -> str:
         """One human-readable line (used by the example and benchmarks)."""
-        return (
+        line = (
             f"{self.completed}/{self.submitted} answered in {self.batches} "
             f"batches (mean {self.mean_batch_size:.1f}, max "
             f"{self.max_batch_size}); wait p50/p99 "
@@ -77,6 +80,12 @@ class StatsSnapshot:
             f"latency p50/p99 {self.latency_p50 * 1e3:.2f}/"
             f"{self.latency_p99 * 1e3:.2f} ms"
         )
+        if self.swaps:
+            line += (
+                f"; epoch {self.epoch} after {self.swaps} swaps "
+                f"(last {self.last_swap_seconds * 1e3:.1f} ms)"
+            )
+        return line
 
 
 class ServiceStats:
@@ -91,6 +100,9 @@ class ServiceStats:
         self.failed = 0
         self.batches = 0
         self.max_batch_size = 0
+        self.epoch = 0
+        self.swaps = 0
+        self.last_swap_seconds = float("nan")
         self._batched_queries = 0
         self._waits: Deque[float] = deque(maxlen=reservoir_size)
         self._latencies: Deque[float] = deque(maxlen=reservoir_size)
@@ -116,6 +128,18 @@ class ServiceStats:
     def record_failed(self, count: int = 1) -> None:
         self.failed += count
 
+    def record_swap(self, seconds: float) -> None:
+        """One completed network swap: bump the epoch, keep update latency.
+
+        ``seconds`` is the swap's update latency — locator build/update up
+        to the instant the new epoch started answering sealed batches
+        (draining the previous epoch is excluded: it overlaps new-epoch
+        service and would double-count in-flight engine time).
+        """
+        self.epoch += 1
+        self.swaps += 1
+        self.last_swap_seconds = seconds
+
     # -- derived views ---------------------------------------------------
     @property
     def mean_batch_size(self) -> float:
@@ -140,4 +164,7 @@ class ServiceStats:
             wait_p99=self.wait_percentile(0.99),
             latency_p50=self.latency_percentile(0.50),
             latency_p99=self.latency_percentile(0.99),
+            epoch=self.epoch,
+            swaps=self.swaps,
+            last_swap_seconds=self.last_swap_seconds,
         )

@@ -225,3 +225,108 @@ class TestVectorisedSinr:
     def test_sinr_ratio_rejects_station_points(self):
         with pytest.raises(NetworkConfigurationError):
             sinr_ratio([Point(0, 0), Point(1, 0)], [1.0, 1.0], 0, Point(1, 0), 0.0)
+
+
+class TestMutationCacheRefresh:
+    """Mutated copies must never inherit stale derived caches.
+
+    Every cached derivative — ``fingerprint``, ``coords``/``coords32``,
+    ``powers_array``/``powers32``, the kdtree and Voronoi diagram — is
+    materialised on the parent *first*, then a mutator runs; the copy's
+    values must reflect the mutation and the parent's caches must be
+    untouched.  This is the contract the dynamic-network layers (deltas,
+    incremental shard rebuilds, tile invalidation) key everything on.
+    """
+
+    @staticmethod
+    def _materialise(network):
+        return {
+            "fingerprint": network.fingerprint,
+            "coords": network.coords.copy(),
+            "coords32": network.coords32.copy(),
+            "powers": network.powers_array().copy(),
+            "powers32": network.powers32.copy(),
+            "kdtree": network.station_kdtree(),
+            "voronoi": network.voronoi_diagram(),
+        }
+
+    @staticmethod
+    def _assert_parent_untouched(network, before):
+        assert network.fingerprint == before["fingerprint"]
+        np.testing.assert_array_equal(network.coords, before["coords"])
+        np.testing.assert_array_equal(network.coords32, before["coords32"])
+        np.testing.assert_array_equal(network.powers_array(), before["powers"])
+        np.testing.assert_array_equal(network.powers32, before["powers32"])
+        assert network.station_kdtree() is before["kdtree"]
+        assert network.voronoi_diagram() is before["voronoi"]
+
+    @pytest.fixture
+    def parent(self):
+        return WirelessNetwork.uniform(
+            [(0.0, 0.0), (6.0, 0.0), (0.0, 6.0), (6.0, 6.0), (3.0, 9.0)],
+            noise=0.01,
+            beta=3.0,
+        )
+
+    def test_with_station_moved_refreshes_every_cache(self, parent):
+        before = self._materialise(parent)
+        target = Point(2.5, 2.5)
+        moved = parent.with_station_moved(1, target)
+
+        assert moved.fingerprint != parent.fingerprint
+        np.testing.assert_array_equal(moved.coords[1], [2.5, 2.5])
+        np.testing.assert_array_equal(
+            moved.coords32, moved.coords.astype(np.float32)
+        )
+        np.testing.assert_array_equal(moved.powers_array(), before["powers"])
+        np.testing.assert_array_equal(moved.powers32, before["powers32"])
+        # The copy's spatial indexes answer for the *new* geometry.
+        assert moved.station_kdtree() is not before["kdtree"]
+        assert moved.station_kdtree().nearest_index(target) == 1
+        assert parent.station_kdtree().nearest_index(target) == 0
+        assert moved.voronoi_diagram() is not before["voronoi"]
+        self._assert_parent_untouched(parent, before)
+
+    def test_with_noise_refreshes_fingerprint_shares_geometry(self, parent):
+        before = self._materialise(parent)
+        quieter = parent.with_noise(0.0001)
+
+        assert quieter.fingerprint != parent.fingerprint
+        np.testing.assert_array_equal(quieter.coords, before["coords"])
+        np.testing.assert_array_equal(quieter.coords32, before["coords32"])
+        np.testing.assert_array_equal(quieter.powers_array(), before["powers"])
+        self._assert_parent_untouched(parent, before)
+
+    def test_with_beta_refreshes_fingerprint(self, parent):
+        before = self._materialise(parent)
+        stricter = parent.with_beta(5.0)
+        assert stricter.fingerprint != parent.fingerprint
+        np.testing.assert_array_equal(stricter.coords, before["coords"])
+        self._assert_parent_untouched(parent, before)
+
+    def test_subnetwork_refreshes_every_cache(self, parent):
+        before = self._materialise(parent)
+        selector = [4, 0, 2]
+        sub = parent.subnetwork(selector)
+
+        assert sub.fingerprint != parent.fingerprint
+        np.testing.assert_array_equal(sub.coords, before["coords"][selector])
+        np.testing.assert_array_equal(sub.coords32, sub.coords.astype(np.float32))
+        np.testing.assert_array_equal(sub.powers_array(), before["powers"][selector])
+        np.testing.assert_array_equal(sub.powers32, before["powers32"][selector])
+        assert sub.station_kdtree() is not before["kdtree"]
+        assert len(sub.station_kdtree()) == 3
+        assert sub.voronoi_diagram() is not before["voronoi"]
+        self._assert_parent_untouched(parent, before)
+
+    def test_mutated_copies_never_share_writable_arrays(self, parent):
+        parent.coords  # materialise the parent cache first
+        for mutated in (
+            parent.with_station_moved(0, Point(1.0, 1.0)),
+            parent.with_noise(0.5),
+            parent.subnetwork([0, 1, 2]),
+        ):
+            assert not mutated.coords.flags.writeable
+            assert not mutated.powers_array().flags.writeable
+            assert not mutated.coords32.flags.writeable
+            assert not mutated.powers32.flags.writeable

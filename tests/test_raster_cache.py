@@ -438,3 +438,152 @@ def test_raster_cache_experiment_reproduces():
     assert result.reproduced, result.measured
     assert result.details["identical"]
     assert result.details["hits"] > 0
+
+
+# ----------------------------------------------------------------------
+# Tile-granular invalidation (dynamic networks)
+# ----------------------------------------------------------------------
+class TestDeltaInvalidation:
+    """``invalidate_region`` / ``invalidate_for_delta`` contracts.
+
+    A station move drops only the tiles inside the moved station's
+    certified-reach boxes and re-keys the rest to the new fingerprint;
+    anything re-keying cannot justify (churn, parameter changes) falls
+    back to the full old-fingerprint flush.
+    """
+
+    BOX = (Point(-8.0, -8.0), Point(8.0, 8.0))
+
+    def _warm(self, network, resolution=64, tile_size=8):
+        # 2-world-unit tiles: the moved station's certified reach (~4.3
+        # units in ``noisy_network``) covers the centre of the 8x8 grid
+        # but leaves the border tiles untouched, so both the re-key and
+        # the drop paths are exercised.
+        cache = TileCache(tile_size=tile_size)
+        SINRDiagram(network).rasterize(*self.BOX, resolution, cache=cache)
+        return cache
+
+    def test_invalidate_region_requires_distinct_fingerprints(self, noisy_network):
+        cache = self._warm(noisy_network)
+        with pytest.raises(RasterCacheError):
+            cache.invalidate_region(
+                noisy_network.fingerprint, noisy_network.fingerprint, None
+            )
+
+    def test_full_flush_spares_other_fingerprints(
+        self, noisy_network, ten_station_network
+    ):
+        cache = TileCache(tile_size=16)
+        SINRDiagram(noisy_network).rasterize(*self.BOX, 64, cache=cache)
+        first = cache.stats().tiles
+        SINRDiagram(ten_station_network).rasterize(*self.BOX, 64, cache=cache)
+        total = cache.stats().tiles
+
+        moved = noisy_network.with_station_moved(0, Point(0.5, 0.5))
+        rekeyed, dropped = cache.invalidate_region(
+            noisy_network.fingerprint, moved.fingerprint, None
+        )
+        assert (rekeyed, dropped) == (0, first)
+        stats = cache.stats()
+        assert stats.tiles == total - first
+        assert stats.invalidated == first and stats.rekeyed == 0
+        # The surviving tiles still answer for the untouched network.
+        before = stats.misses
+        SINRDiagram(ten_station_network).rasterize(*self.BOX, 64, cache=cache)
+        assert cache.stats().misses == before
+
+    def test_move_rekeys_far_tiles_and_drops_near_ones(self, noisy_network):
+        from repro.model import move_station
+        from repro.raster import affected_boxes, invalidate_for_delta
+
+        cache = self._warm(noisy_network)
+        warm_tiles = cache.stats().tiles
+        moved, delta = move_station(noisy_network, 0, Point(0.3, 0.2))
+        boxes = affected_boxes(noisy_network, moved, delta)
+        assert len(boxes) == 2  # the station's reach, before and after
+
+        rekeyed, dropped = invalidate_for_delta(cache, noisy_network, moved, delta)
+        assert rekeyed > 0 and dropped > 0
+        assert rekeyed + dropped == warm_tiles
+        stats = cache.stats()
+        assert stats.rekeyed == rekeyed and stats.invalidated == dropped
+
+        # Re-serving the same box against the new network hits every
+        # re-keyed tile and recomputes exactly the dropped ones.
+        hits_before, misses_before = stats.hits, stats.misses
+        SINRDiagram(moved).rasterize(*self.BOX, 64, cache=cache)
+        stats = cache.stats()
+        assert stats.hits - hits_before == rekeyed
+        assert stats.misses - misses_before == dropped
+
+    def test_tiny_move_labels_stay_exact(self, noisy_network):
+        """Far from the margin the re-keyed labels are the true labels: a
+        microscopic move shifts interference by less than any pixel's
+        reception margin in this deterministic fixture."""
+        from repro.model import move_station
+        from repro.raster import invalidate_for_delta
+
+        cache = self._warm(noisy_network)
+        station = noisy_network.stations[0]
+        moved, delta = move_station(
+            noisy_network, 0, Point(station.x + 1e-4, station.y)
+        )
+        invalidate_for_delta(cache, noisy_network, moved, delta)
+        served = SINRDiagram(moved).rasterize(*self.BOX, 64, cache=cache)
+        direct = SINRDiagram(moved).rasterize(*self.BOX, 64)
+        np.testing.assert_array_equal(served.labels, direct.labels)
+
+    def test_churn_falls_back_to_full_drop(self, noisy_network):
+        from repro.model import remove_station
+        from repro.raster import invalidate_for_delta
+
+        cache = self._warm(noisy_network)
+        warm_tiles = cache.stats().tiles
+        shrunk, delta = remove_station(noisy_network, 2)
+        assert not delta.index_preserving
+        rekeyed, dropped = invalidate_for_delta(cache, noisy_network, shrunk, delta)
+        assert (rekeyed, dropped) == (0, warm_tiles)
+        # The recomputed tiles carry the new label space and row count.
+        served = SINRDiagram(shrunk).rasterize(*self.BOX, 64, cache=cache)
+        direct = SINRDiagram(shrunk).rasterize(*self.BOX, 64)
+        assert_rasters_identical(direct, served)
+
+    def test_parameter_change_falls_back_to_full_drop(self, noisy_network):
+        from repro.raster import invalidate_for_delta
+
+        cache = self._warm(noisy_network)
+        warm_tiles = cache.stats().tiles
+        louder = noisy_network.with_noise(0.05)
+        rekeyed, dropped = invalidate_for_delta(cache, noisy_network, louder)
+        assert (rekeyed, dropped) == (0, warm_tiles)
+
+    def test_unchanged_network_is_a_noop(self, noisy_network):
+        from repro.raster import invalidate_for_delta
+
+        cache = self._warm(noisy_network)
+        twin = WirelessNetwork.uniform(
+            [(s.x, s.y) for s in noisy_network.stations],
+            noise=noisy_network.noise,
+            beta=noisy_network.beta,
+        )
+        assert invalidate_for_delta(cache, noisy_network, twin) == (0, 0)
+        assert cache.stats().rekeyed == 0 and cache.stats().invalidated == 0
+
+    def test_raster_service_swap_network(self, noisy_network):
+        from repro.model import move_station
+
+        service = RasterService(noisy_network, tile_size=8)
+        box = (*self.BOX, 64)
+        asyncio.run(service.rasterize(*box))
+        moved, delta = move_station(noisy_network, 0, Point(0.3, 0.2))
+
+        rekeyed, dropped = service.swap_network(moved, delta)
+        assert rekeyed > 0 and dropped > 0
+        assert service.network is moved
+
+        served = asyncio.run(service.rasterize(*box))
+        direct = SINRDiagram(moved).rasterize(*box)
+        # Labels agree away from the reception margin; dropped tiles were
+        # recomputed, so the moved station's neighbourhood is exact.
+        agreement = np.mean(served.labels == direct.labels)
+        assert agreement > 0.99

@@ -738,3 +738,187 @@ class TestRouterAndFacade:
 
         answer = run(main())
         assert answer == int(fingerprint_answers(np.array([[1.5, 2.5]]))[0])
+
+
+# ----------------------------------------------------------------------
+# Epoch-versioned network swaps
+# ----------------------------------------------------------------------
+class ShiftedLocator(FakeLocator):
+    """A second-epoch spy: fingerprint answers shifted out of the old range."""
+
+    EPOCH_OFFSET = 1_000_000
+
+    def locate_batch(self, points):
+        return super().locate_batch(points) + self.EPOCH_OFFSET
+
+
+class TestEpochSwap:
+    """``swap_network``: zero lost queries, no mixed-epoch batch."""
+
+    @staticmethod
+    def _moved(network):
+        from repro import Point
+        from repro.model import move_station
+
+        station = network.stations[0]
+        return move_station(
+            network, 0, Point(station.x + 0.4, station.y - 0.3)
+        )
+
+    def test_swap_under_live_traffic_loses_nothing(self, network, queries,
+                                                   truth):
+        """Every query submitted across the swap is answered exactly once,
+        by one of the two epochs — never dropped, never cross-bred."""
+        moved, delta = self._moved(network)
+        new_truth = build_locator(moved, "voronoi").locate_batch(queries)
+        count = 400
+
+        async def main():
+            async with QueryService(
+                network, "voronoi", latency_budget=0.002, max_batch_size=64
+            ) as service:
+
+                async def submitter(i):
+                    await asyncio.sleep((i % 40) * 0.001)
+                    return i, await service.locate(queries[i])
+
+                tasks = [
+                    asyncio.create_task(submitter(i)) for i in range(count)
+                ]
+                await asyncio.sleep(0.01)
+                await service.swap_network(moved, delta)
+                answered = dict(await asyncio.gather(*tasks))
+                post = await service.locate_many(queries[:100])
+                return answered, post, service.stats_snapshot()
+
+        answered, post, snapshot = run(main())
+        assert len(answered) == count  # exactly once each, none lost
+        for i, answer in answered.items():
+            assert answer in (truth[i], new_truth[i])
+        # Once the swap returns, only the new epoch answers.
+        np.testing.assert_array_equal(post, new_truth[:100])
+        assert snapshot.epoch == 1 and snapshot.swaps == 1
+        assert snapshot.completed == count + 100 and snapshot.failed == 0
+
+    def test_in_flight_batch_stays_on_old_epoch(self, network):
+        """Spy locators across a forced in-flight swap: the sealed batch
+        drains against the old epoch, post-flip batches use the new one,
+        and no batch ever mixes the two."""
+        old_spy = GatedLocator()
+        new_spy = ShiftedLocator()
+        pts = query_box_array(network, 16, seed=5)
+
+        async def main():
+            async with QueryService(
+                network, old_spy, latency_budget=0.05, max_batch_size=8
+            ) as service:
+                wave_a = [
+                    asyncio.create_task(service.locate(p)) for p in pts[:8]
+                ]
+                # The full batch seals and enters the gated locator.
+                await asyncio.to_thread(old_spy.entered.wait, 10.0)
+
+                swap = asyncio.create_task(
+                    service.swap_network(network, locator=new_spy)
+                )
+                await asyncio.sleep(0.05)
+                wave_b = [
+                    asyncio.create_task(service.locate(p)) for p in pts[8:]
+                ]
+                await asyncio.sleep(0.05)
+                # The flip already happened, but the drain must hold the
+                # swap open while the old-epoch batch is still in flight.
+                assert service.locator is new_spy
+                assert not swap.done()
+
+                old_spy.gate.set()
+                answers_a = await asyncio.gather(*wave_a)
+                await swap
+                answers_b = await asyncio.gather(*wave_b)
+                return answers_a, answers_b
+
+        answers_a, answers_b = run(main())
+        expected = fingerprint_answers(pts)
+        # The in-flight batch was answered entirely by the old epoch...
+        np.testing.assert_array_equal(answers_a, expected[:8])
+        # ...post-flip queries entirely by the new one: no mixed batch.
+        np.testing.assert_array_equal(
+            answers_b, expected[8:] + ShiftedLocator.EPOCH_OFFSET
+        )
+        assert old_spy.calls == [8]
+        assert new_spy.calls == [8]
+
+    def test_swap_updates_sharded_locator_incrementally(self, network,
+                                                        queries):
+        from repro.pointlocation import ShardedLocator, get_locator
+
+        moved, delta = self._moved(network)
+
+        async def main():
+            async with QueryService(
+                network, "sharded:voronoi", build_options={"shards": 4}
+            ) as service:
+                installed = await service.swap_network(moved, delta)
+                answers = await service.locate_many(queries[:200])
+                return installed, answers, service.locator
+
+        installed, answers, live = run(main())
+        assert live is installed and isinstance(installed, ShardedLocator)
+        report = installed.last_update
+        assert report is not None and not report.full_rebuild
+        assert 1 <= report.rebuilt <= 2  # one move touches at most 2 shards
+        fresh = get_locator("sharded:voronoi").build(moved, shards=4)
+        np.testing.assert_array_equal(
+            answers, fresh.locate_batch(queries[:200])
+        )
+
+    def test_router_swaps_every_routed_service(self, network, queries):
+        moved, delta = self._moved(network)
+        new_truth = build_locator(moved, "voronoi").locate_batch(queries[:150])
+
+        async def main():
+            async with LocatorRouter(
+                network, ["voronoi", "sharded:voronoi"]
+            ) as router:
+                await router.locate_many("voronoi", queries[:10])
+                await router.swap_network(moved, delta)
+                exact = await router.locate_many("voronoi", queries[:150])
+                sharded = await router.locate_many(
+                    "sharded:voronoi", queries[:150]
+                )
+                return exact, sharded, router.stats_snapshots(), router.network
+
+        exact, sharded, snapshots, routed = run(main())
+        np.testing.assert_array_equal(exact, new_truth)
+        np.testing.assert_array_equal(sharded, new_truth)
+        assert routed is moved
+        assert all(s.epoch == 1 for s in snapshots.values())
+
+    def test_swap_before_start_and_stats_line(self, network, queries):
+        moved, delta = self._moved(network)
+        new_truth = build_locator(moved, "voronoi").locate_batch(queries[:50])
+
+        async def main():
+            service = QueryService(network, "voronoi")
+            await service.swap_network(moved, delta)  # not running yet: ok
+            assert service.network is moved
+            async with service:
+                answers = await service.locate_many(queries[:50])
+            return answers, service.stats_snapshot()
+
+        answers, snapshot = run(main())
+        np.testing.assert_array_equal(answers, new_truth)
+        assert snapshot.epoch == 1
+        assert "epoch 1 after 1 swaps" in snapshot.describe()
+
+    def test_opaque_prebuilt_locator_cannot_rebuild(self, network):
+        moved, delta = self._moved(network)
+
+        async def main():
+            async with QueryService(network, FakeLocator()) as service:
+                with pytest.raises(ServiceError):
+                    await service.swap_network(moved, delta)
+                with pytest.raises(ServiceError):
+                    await service.swap_network(moved, locator=object())
+
+        run(main())
