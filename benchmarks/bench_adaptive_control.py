@@ -1,0 +1,316 @@
+"""Closed-loop adaptive latency budget vs every static setting.
+
+PR 9's acceptance gate.  The micro-batcher's latency budget is the classic
+static trade-off: small budgets give low per-query latency but tiny
+batches, large budgets amortise dispatch but make lonely queries wait.
+:class:`repro.control.AdaptiveLatencyBudget` (AIMD over the metrics hub)
+claims to remove the choice — so this bench runs three traffic shapes and
+requires the adaptive controller to match or beat the **best** static
+budget from a representative grid on every one of them:
+
+* ``poisson``  — open-loop Poisson arrivals; scored by median end-to-end
+  latency (the service's own exact-over-the-run reservoir percentile).
+* ``burst``    — synchronized bursts with idle gaps; scored by median
+  latency.
+* ``closed``   — request-response clients, next query only after the
+  previous answer; scored by completion time.
+
+Open-loop *completion* time is schedule-dominated (every budget finishes
+when the last arrival is served), so the open-loop shapes score latency.
+The median is the scored percentile because it is structural — it tracks
+``budget/2 + compute`` and orders the configurations identically run after
+run — whereas p99 on a shared runner is dominated by scheduler hiccups
+that hit every configuration alike (both are printed; only the median is
+gated).  Every run — static or adaptive — carries the metrics hub, so the
+comparison isolates the control *policy* rather than charging the
+adaptive runs alone for observability.
+
+A deployment pins ONE budget for whatever traffic arrives, so each static
+budget is judged on its aggregate across the shapes (geometric mean of its
+per-shape score ratio vs adaptive, so the shapes' different units and
+magnitudes weigh equally), and the gate requires the controller to beat
+the best aggregate static.  The per-shape table still prints and is
+recorded, making visible where each static wins its home turf and loses
+abroad.  A separate, non-gated test demonstrates the transient behaviour:
+under a flood the controller grows the budget away from its floor
+(pressure signal = sealed batches piling at the executor) and decays back
+once the flood drains.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink the workload (CI smoke mode) and
+``REPRO_BENCH_MIN_SPEEDUP`` to relax the >= 1.0x gate on noisy runners.
+Bit-identity of every served answer against a direct ``locate_batch`` is
+asserted unconditionally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import numpy as np
+import pytest
+
+from persist import record_benchmark
+from repro.env import BENCH_QUICK, read_bool_knob
+from repro import Point
+from repro.control import AdaptiveLatencyBudget
+from repro.obs import MetricsHub
+from repro.pointlocation import build_locator
+from repro.service import QueryService
+from repro.workloads import (
+    random_query_array,
+    run_bursts,
+    run_closed_loop,
+    run_poisson,
+    uniform_random_network,
+)
+
+QUICK = read_bool_knob(BENCH_QUICK)
+STATION_COUNT = 50
+QUERY_COUNT = 1_000 if QUICK else 4_000  # <= stats reservoir: p99 is exact
+REPEATS = 2
+
+#: The static grid the controller must beat (seconds).  Spans the regimes:
+#: latency-first (1 ms), the repo default (2 ms), throughput-first (8 ms).
+#: The controller's floor sits below the whole grid — finer than a static
+#: choice anyone would pin — and its cap above it.
+STATIC_BUDGETS = (0.001, 0.002, 0.008)
+
+ADAPTIVE_FLOOR = 0.00025
+ADAPTIVE_CAP = 0.02
+HUB_INTERVAL = 0.01
+
+POISSON_RATE = 3_000.0  # open-loop arrivals, q/s
+BURST_SIZE = 64
+BURST_GAP = 0.006
+CLIENTS = 16
+
+
+def _speedup_floor(default: float) -> float:
+    override = os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "")
+    return float(override) if override.strip() else default
+
+
+@pytest.fixture(scope="module")
+def workload():
+    side = 4.0 * STATION_COUNT ** 0.5
+    network = uniform_random_network(
+        STATION_COUNT,
+        side=side,
+        minimum_separation=1.5,
+        noise=0.002,
+        beta=3.0,
+        seed=23,
+    )
+    queries = random_query_array(
+        QUERY_COUNT, Point(-2.0, -2.0), Point(side + 2.0, side + 2.0), seed=17
+    )
+    truth = build_locator(network, "voronoi").locate_batch(queries)
+    return network, queries, truth
+
+
+def make_adaptive_controller() -> AdaptiveLatencyBudget:
+    return AdaptiveLatencyBudget(
+        min_budget=ADAPTIVE_FLOOR,
+        max_budget=ADAPTIVE_CAP,
+        target_wait_p99=0.004,
+        increase=0.001,
+        decrease=0.7,
+    )
+
+
+SHAPES = {
+    "poisson": dict(
+        driver=lambda service, queries: run_poisson(
+            service, queries, rate=POISSON_RATE, seed=11
+        ),
+        metric="latency_p50_ms",
+    ),
+    "burst": dict(
+        driver=lambda service, queries: run_bursts(
+            service, queries, burst_size=BURST_SIZE, gap=BURST_GAP
+        ),
+        metric="latency_p50_ms",
+    ),
+    "closed": dict(
+        driver=lambda service, queries: run_closed_loop(
+            service, queries, clients=CLIENTS
+        ),
+        metric="completion_ms",
+    ),
+}
+
+
+async def _serve_once(network, queries, shape: str, budget=None):
+    """One run of ``shape``; ``budget=None`` means the adaptive controller.
+
+    Every run gets a ticking :class:`MetricsHub` so static and adaptive
+    configurations pay identical observability overhead.
+    """
+    adaptive = budget is None
+    controller = make_adaptive_controller() if adaptive else None
+    hub = MetricsHub(interval=HUB_INTERVAL)
+    kwargs = (
+        dict(metrics=hub, controller=controller) if adaptive
+        else dict(metrics=hub, latency_budget=budget)
+    )
+    async with QueryService(
+        network, "voronoi", max_batch_size=4096, max_pending=len(queries),
+        **kwargs,
+    ) as service:
+        await hub.start()
+        started = time.perf_counter()
+        answers = await SHAPES[shape]["driver"](service, queries)
+        seconds = time.perf_counter() - started
+        await hub.stop()
+        snapshot = service.stats_snapshot()
+    return answers, seconds, snapshot, controller
+
+
+def serve_shape(network, queries, truth, shape: str, budget=None):
+    """Best-of-REPEATS score for one configuration of one shape."""
+    best = None
+    for _ in range(REPEATS):
+        answers, seconds, snapshot, controller = asyncio.run(
+            _serve_once(network, queries, shape, budget)
+        )
+        np.testing.assert_array_equal(answers, truth)
+        score = (
+            seconds if SHAPES[shape]["metric"] == "completion_ms"
+            else snapshot.latency_p50
+        )
+        if best is None or score < best[0]:
+            best = (score, seconds, snapshot, controller)
+    return best
+
+
+@pytest.mark.paper
+def test_adaptive_budget_beats_every_static_on_aggregate(workload):
+    """The gate: adaptive >= 1.0x every static budget's cross-shape
+    aggregate (geometric mean of the per-shape score ratios)."""
+    network, queries, truth = workload
+    floor = _speedup_floor(1.0)
+    payload = {
+        "stations": STATION_COUNT,
+        "queries": QUERY_COUNT,
+        "static_budgets_ms": [round(b * 1e3, 2) for b in STATIC_BUDGETS],
+        "adaptive_floor_ms": ADAPTIVE_FLOOR * 1e3,
+        "adaptive_cap_ms": ADAPTIVE_CAP * 1e3,
+    }
+    static_scores = {budget: {} for budget in STATIC_BUDGETS}
+    adaptive_scores = {}
+    for shape, spec in SHAPES.items():
+        metric = spec["metric"]
+        print(f"\n[{shape}] scored by {metric} "
+              f"(best of {REPEATS} runs per configuration)")
+        print(f"{'budget':>14} {'score':>10} {'mean batch':>11} "
+              f"{'lat p99 ms':>11} {'wait p99 ms':>12}")
+        for budget in STATIC_BUDGETS:
+            score, seconds, snapshot, _ = serve_shape(
+                network, queries, truth, shape, budget
+            )
+            static_scores[budget][shape] = score
+            print(f"{budget * 1e3:>11.2f} ms {score * 1e3:>10.2f} "
+                  f"{snapshot.mean_batch_size:>11.1f} "
+                  f"{snapshot.latency_p99 * 1e3:>11.2f} "
+                  f"{snapshot.wait_p99 * 1e3:>12.2f}")
+        adaptive_score, seconds, snapshot, controller = serve_shape(
+            network, queries, truth, shape, budget=None
+        )
+        adaptive_scores[shape] = adaptive_score
+        final_budget = controller.budget if controller else float("nan")
+        print(f"{'adaptive':>14} {adaptive_score * 1e3:>10.2f} "
+              f"{snapshot.mean_batch_size:>11.1f} "
+              f"{snapshot.latency_p99 * 1e3:>11.2f} "
+              f"{snapshot.wait_p99 * 1e3:>12.2f}   "
+              f"(final budget {final_budget * 1e3:.2f} ms, "
+              f"{controller.grows} grows / {controller.shrinks} shrinks)")
+        best_on_shape = min(static_scores[b][shape] for b in STATIC_BUDGETS)
+        payload[shape] = {
+            metric: round(adaptive_score * 1e3, 3),
+            "static_" + metric: {
+                f"{b * 1e3:.2f}ms": round(static_scores[b][shape] * 1e3, 3)
+                for b in STATIC_BUDGETS
+            },
+            "speedup_vs_best_static_on_shape": round(
+                best_on_shape / adaptive_score, 2
+            ),
+            "final_adaptive_budget_ms": round(final_budget * 1e3, 3),
+        }
+
+    # One pinned budget has to serve every shape: judge each static on the
+    # geometric mean of its per-shape ratio to adaptive, then require the
+    # controller to beat even the best static on that aggregate.
+    print("\naggregate (geomean over shapes of static score / adaptive score):")
+    aggregates = {}
+    for budget in STATIC_BUDGETS:
+        ratios = [
+            static_scores[budget][shape] / adaptive_scores[shape]
+            for shape in SHAPES
+        ]
+        aggregate = float(np.prod(ratios)) ** (1.0 / len(ratios))
+        aggregates[budget] = aggregate
+        per_shape = ", ".join(
+            f"{shape} {ratio:.2f}x" for shape, ratio in zip(SHAPES, ratios)
+        )
+        print(f"  static {budget * 1e3:>5.2f} ms: {aggregate:.2f}x "
+              f"({per_shape})")
+    best_budget = min(aggregates, key=aggregates.__getitem__)
+    speedup = aggregates[best_budget]
+    print(f"best static on aggregate: {best_budget * 1e3:.2f} ms; "
+          f"adaptive speedup {speedup:.2f}x (gate: >= {floor:.2f}x)")
+    payload["aggregate_speedups"] = {
+        f"{b * 1e3:.2f}ms": round(aggregates[b], 3) for b in STATIC_BUDGETS
+    }
+    payload["best_static_budget_ms"] = round(best_budget * 1e3, 2)
+    payload["speedup_vs_best_static"] = round(speedup, 2)
+    record_benchmark("adaptive_control", payload)
+    assert speedup >= floor, (
+        f"adaptive lost the aggregate to static {best_budget * 1e3:.2f} ms: "
+        f"{speedup:.2f}x < {floor:.2f}x"
+    )
+
+
+@pytest.mark.paper
+def test_budget_grows_under_pressure_then_decays(workload):
+    """Phase-shift demo (not speedup-gated): a flood of simultaneous
+    queries piles sealed batches at the executor, the controller must grow
+    the budget away from its floor, and once the flood drains the
+    light-traffic rule must decay it back down."""
+    network, queries, truth = workload
+    waves = 8  # make the flood outlast several controller ticks
+    flood_queries = np.tile(queries, (waves, 1))
+    flood_truth = np.tile(truth, waves)
+    interval = 0.002
+
+    async def flood():
+        controller = make_adaptive_controller()
+        hub = MetricsHub(interval=interval)
+        async with QueryService(
+            network, "voronoi",
+            metrics=hub, controller=controller,
+            max_batch_size=32,  # keep batches small so backlog shows up
+            max_pending=len(flood_queries),
+        ) as service:
+            await hub.start()
+            answers = await service.locate_many(flood_queries)
+            peak_budget = controller.budget
+            # Idle tail: with the flood drained, arrivals stop and the
+            # light-traffic rule should walk the budget back down.
+            await asyncio.sleep(20 * interval)
+            await hub.stop()
+        return answers, controller, peak_budget
+
+    answers, controller, peak_budget = asyncio.run(flood())
+    np.testing.assert_array_equal(answers, flood_truth)
+    peak = max(budget for _, budget in controller.trace())
+    print(f"\nflood of {len(flood_queries)} concurrent queries: "
+          f"{controller.grows} grows / {controller.shrinks} shrinks, "
+          f"peak budget {peak * 1e3:.2f} ms "
+          f"(floor {ADAPTIVE_FLOOR * 1e3:.2f} ms), "
+          f"final {controller.budget * 1e3:.2f} ms")
+    assert controller.grows >= 1, "the flood never triggered a grow"
+    assert peak > ADAPTIVE_FLOOR
+    assert controller.shrinks >= 1, "the idle tail never triggered a shrink"
+    assert controller.budget < peak

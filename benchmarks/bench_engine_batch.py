@@ -29,6 +29,7 @@ import numpy as np
 import pytest
 
 from persist import record_benchmark
+from repro.env import BENCH_QUICK, read_bool_knob
 from repro import Point, SINRDiagram
 from repro.engine import (
     GPU_AVAILABLE,
@@ -44,7 +45,7 @@ from repro.pointlocation import (
 )
 from repro.workloads import random_query_array, uniform_random_network
 
-QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+QUICK = read_bool_knob(BENCH_QUICK)
 STATION_COUNT = 10 if QUICK else 50
 QUERY_COUNT = 500 if QUICK else 10_000
 SCALAR_SAMPLE = 100 if QUICK else 1_000  # scalar loops are timed on a subsample

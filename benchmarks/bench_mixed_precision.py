@@ -26,6 +26,7 @@ import numpy as np
 import pytest
 
 from persist import record_benchmark
+from repro.env import BENCH_QUICK, read_bool_knob
 from repro import Point
 from repro.engine import (
     GPU_AVAILABLE,
@@ -36,7 +37,7 @@ from repro.engine import (
 )
 from repro.workloads import random_query_array, uniform_random_network
 
-QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+QUICK = read_bool_knob(BENCH_QUICK)
 STATION_COUNT = 40 if QUICK else 200
 QUERY_COUNT = 5_000 if QUICK else 100_000
 

@@ -25,10 +25,11 @@ import numpy as np
 import pytest
 
 from persist import record_benchmark
+from repro.env import BENCH_QUICK, read_bool_knob
 from repro import Point, SINRDiagram, TileCache
 from repro.workloads import uniform_random_network
 
-QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+QUICK = read_bool_knob(BENCH_QUICK)
 STATION_COUNT = 20
 RESOLUTION = 96 if QUICK else 192
 

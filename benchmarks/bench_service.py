@@ -34,6 +34,7 @@ import numpy as np
 import pytest
 
 from persist import record_benchmark
+from repro.env import BENCH_QUICK, read_bool_knob
 from repro.pointlocation import build_locator
 from repro.service import QueryService, serve_points
 from repro.workloads import (
@@ -43,7 +44,7 @@ from repro.workloads import (
 )
 from repro import Point
 
-QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+QUICK = read_bool_knob(BENCH_QUICK)
 STATION_COUNT = 50
 QUERY_COUNT = 2_000 if QUICK else 10_000
 

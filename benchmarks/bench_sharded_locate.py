@@ -25,11 +25,12 @@ import numpy as np
 import pytest
 
 from persist import record_benchmark
+from repro.env import BENCH_QUICK, read_bool_knob
 from repro import Point
 from repro.pointlocation import get_locator
 from repro.workloads import random_query_array, uniform_random_network
 
-QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+QUICK = read_bool_knob(BENCH_QUICK)
 STATION_COUNT = 50 if QUICK else 200
 QUERY_COUNT = 2_000 if QUICK else 20_000
 SHARD_COUNTS = (1, 4, 8) if QUICK else (1, 2, 4, 8, 16)

@@ -9,11 +9,16 @@ only in CI logs.
 Schema 2 keeps *quick* (CI smoke, ``REPRO_BENCH_QUICK``) and *full* runs in
 separate groups, each with its own SHA: a quick smoke run at a new commit
 resets only the ``quick`` group, so the committed full-scale trajectory
-survives CI.  Within a group the file holds exactly one SHA — a run against
-a different commit resets that group's results rather than appending, so
-the committed file always describes the tree it sits in.  Sections merge,
-letting independent bench modules (``bench_engine_batch``,
-``bench_incremental_update``...) each contribute their own payload.
+survives CI.  The quick flag follows the project's boolean-knob semantics
+(see :func:`quick_mode`): ``REPRO_BENCH_QUICK=0`` / ``=false`` / unset mean
+a full run, anything else means quick.  Within a group the file holds
+exactly one SHA — a run against a different commit resets that group's
+results rather than appending, so the committed file always describes the
+tree it sits in.  Sections merge, letting independent bench modules
+(``bench_engine_batch``, ``bench_incremental_update``...) each contribute
+their own payload; the read-merge-write cycle is serialised under an
+advisory file lock, so concurrent writers (``pytest-xdist``, parallel CI
+legs) never lose each other's sections.
 """
 
 from __future__ import annotations
@@ -21,7 +26,13 @@ from __future__ import annotations
 import json
 import os
 import subprocess
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = ["BENCH_PATH", "current_git_sha", "quick_mode", "record_benchmark"]
 
@@ -51,10 +62,40 @@ def current_git_sha() -> str:
 
 
 def quick_mode() -> bool:
-    """Whether this run is a shrunken CI smoke (``REPRO_BENCH_QUICK``)."""
-    from repro.env import BENCH_QUICK, read_knob
+    """Whether this run is a shrunken CI smoke (``REPRO_BENCH_QUICK``).
 
-    return bool(read_knob(BENCH_QUICK, ""))
+    Boolean knob semantics via :func:`repro.env.read_bool_knob`: unset,
+    ``""``, ``"0"``, ``"false"``, ``"no"`` and ``"off"`` (any case) mean a
+    full run; anything else enables quick mode.  An earlier
+    ``bool(read_knob(...))`` treated *any* non-empty value as quick —
+    ``REPRO_BENCH_QUICK=0`` silently shrank what was meant to be a full
+    run, poisoning the recorded full-group trajectory.
+    """
+    from repro.env import BENCH_QUICK, read_bool_knob
+
+    return read_bool_knob(BENCH_QUICK)
+
+
+@contextmanager
+def _results_lock(path: str) -> Iterator[None]:
+    """Advisory exclusive lock serialising one read-merge-write cycle.
+
+    A sidecar ``<path>.lock`` file is flocked rather than the data file
+    itself (the data file is atomically replaced, which would swap the
+    locked inode out from under a waiter).  ``flock`` locks the open file
+    description, and every caller — threads of one process included —
+    opens its own, so all writers contend properly.  Platforms without
+    :mod:`fcntl` degrade to the previous unlocked behaviour.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platform
+        yield
+        return
+    with open(f"{path}.lock", "a+b") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
 
 
 def record_benchmark(
@@ -71,27 +112,30 @@ def record_benchmark(
     :func:`quick_mode` says this run is.  Each group is keyed by the git
     SHA it measured; recording under a different SHA resets that group
     (never the other one), so CI smoke can't overwrite full trajectory
-    data.  Returns the path written.
+    data.  The whole read-merge-write cycle runs under an advisory file
+    lock: concurrent recorders queue up instead of overwriting each
+    other's freshly merged sections.  Returns the path written.
     """
     path = path or BENCH_PATH
     group = "quick" if (quick_mode() if quick is None else quick) else "full"
     sha = current_git_sha()
-    data: dict = {}
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            data = json.load(handle)
-    except (OSError, ValueError):
-        data = {}
-    if not isinstance(data, dict) or data.get("schema") != _SCHEMA:
-        data = {"schema": _SCHEMA}
-    slot = data.get(group)
-    if not isinstance(slot, dict) or slot.get("git_sha") != sha:
-        slot = {"git_sha": sha, "results": {}}
-        data[group] = slot
-    slot.setdefault("results", {})[section] = payload
-    tmp = f"{path}.tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp, path)
+    with _results_lock(path):
+        data: dict = {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+        if not isinstance(data, dict) or data.get("schema") != _SCHEMA:
+            data = {"schema": _SCHEMA}
+        slot = data.get(group)
+        if not isinstance(slot, dict) or slot.get("git_sha") != sha:
+            slot = {"git_sha": sha, "results": {}}
+            data[group] = slot
+        slot.setdefault("results", {})[section] = payload
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
     return path

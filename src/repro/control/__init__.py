@@ -1,0 +1,31 @@
+"""Closed-loop adaptive control over the serving stack's tuning knobs.
+
+Controllers consume :class:`repro.obs.MetricsRecord` snapshots through the
+metrics hub's sink protocol and actuate the runtime retuning surfaces the
+rest of the stack exposes:
+
+* :class:`AdaptiveLatencyBudget` — AIMD on
+  :meth:`repro.service.MicroBatcher.set_latency_budget`, keyed off the
+  seal-wait p99 (SLO) and the in-flight batch count (congestion);
+* :class:`CacheBudgetTuner` — eviction-slope / hit-rate feedback on
+  :meth:`repro.raster.TileCache.set_byte_budget`;
+* :class:`ChunkBytesTuner` — a one-shot measured sweep installing the best
+  engine chunk budget via :func:`repro.engine.set_chunk_byte_budget`.
+
+``QueryService(controller=...)`` and ``RasterService(controller=...)`` wire
+a controller into their own metrics plumbing, including gating actuation
+off during epoch swaps.
+"""
+
+from .base import Controller
+from .cache import CacheBudgetTuner
+from .chunk import ChunkBytesTuner, DEFAULT_CHUNK_CANDIDATES
+from .latency import AdaptiveLatencyBudget
+
+__all__ = [
+    "AdaptiveLatencyBudget",
+    "CacheBudgetTuner",
+    "ChunkBytesTuner",
+    "Controller",
+    "DEFAULT_CHUNK_CANDIDATES",
+]

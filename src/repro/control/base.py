@@ -1,0 +1,51 @@
+"""The controller protocol: a metrics sink whose observations actuate knobs.
+
+A controller registers with a :class:`~repro.obs.MetricsHub` exactly like a
+sink — the hub calls ``emit(record)`` on every tick.  :class:`Controller`
+splits that into policy and plumbing: ``emit`` checks an optional *gate*
+(a callable that returns ``True`` while actuation must pause, e.g. during
+an epoch swap's drain window) and then hands the record to the subclass's
+``observe``.  Gated records are counted, not queued — control laws are
+written against fresh state, and a decision computed before a swap must
+not fire after it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..obs.hub import MetricsRecord
+
+__all__ = ["Controller"]
+
+
+class Controller:
+    """Base class for closed-loop controllers fed by a metrics hub.
+
+    Subclasses implement ``observe(record)``; everything else (the sink
+    protocol, the gate, the observed/skipped counters) lives here.  The
+    hub serialises emits — one tick finishes before the next begins — so
+    ``observe`` never runs concurrently with itself.
+    """
+
+    def __init__(self) -> None:
+        self._gate: Optional[Callable[[], bool]] = None
+        self.observed = 0
+        self.skipped = 0
+
+    def set_gate(self, gate: Optional[Callable[[], bool]]) -> None:
+        """Install ``gate``; while it returns ``True``, records are skipped."""
+        self._gate = gate
+
+    def emit(self, record: MetricsRecord) -> None:
+        """Sink-protocol entry point called by the hub on every tick."""
+        gate = self._gate
+        if gate is not None and gate():
+            self.skipped += 1
+            return
+        self.observed += 1
+        self.observe(record)
+
+    def observe(self, record: MetricsRecord) -> None:
+        """Apply the control law to one fresh record (subclass hook)."""
+        raise NotImplementedError

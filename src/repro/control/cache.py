@@ -1,0 +1,134 @@
+"""Closed-loop tuning of the raster tile cache's byte budget.
+
+:class:`CacheBudgetTuner` watches a :func:`repro.obs.cache_stats_source`
+stream and retunes :meth:`repro.raster.TileCache.set_byte_budget`.  The
+cache counters are cumulative, so the tuner works on per-interval deltas:
+
+* **grow** when the cache is thrashing — the last interval evicted tiles
+  *and* its hit rate fell short of the target, i.e. evicted tiles are
+  being recomputed.  Growth is multiplicative (thrashing working sets are
+  usually much larger than the budget, not slightly).
+* **shrink** when the budget is demonstrably idle — no evictions, no
+  misses, and the resident bytes sit well under the budget.  The shrink
+  never cuts below the resident set (shrinking an efficient cache must not
+  evict anything), so it reclaims headroom, not hot tiles.
+* **hold** otherwise.
+
+The first record only seeds the delta baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..exceptions import ControlError, ObservabilityError
+from ..obs.hub import MetricsRecord
+from .base import Controller
+
+__all__ = ["CacheBudgetTuner"]
+
+
+class CacheBudgetTuner(Controller):
+    """Eviction-slope / hit-rate driven tile-cache budget tuner.
+
+    Args:
+        source: hub source name carrying the cache stats.
+        min_bytes, max_bytes: budget clamp, in bytes.
+        target_hit_rate: interval hit rate below which evictions count as
+            thrashing.
+        grow_factor: multiplicative growth on thrashing (> 1).
+        shrink_factor: multiplicative shrink on idleness (in ``(0, 1)``);
+            also the occupancy fraction under which a budget counts as
+            underfull.
+    """
+
+    def __init__(
+        self,
+        source: str = "cache",
+        min_bytes: int = 16 * 2**20,
+        max_bytes: int = 1024 * 2**20,
+        target_hit_rate: float = 0.8,
+        grow_factor: float = 1.5,
+        shrink_factor: float = 0.8,
+    ):
+        super().__init__()
+        if min_bytes <= 0:
+            raise ControlError(f"min_bytes must be positive, got {min_bytes}")
+        if max_bytes < min_bytes:
+            raise ControlError(
+                f"max_bytes ({max_bytes}) must be >= min_bytes ({min_bytes})"
+            )
+        if not 0.0 <= target_hit_rate <= 1.0:
+            raise ControlError(
+                f"target_hit_rate must be in [0, 1], got {target_hit_rate}"
+            )
+        if grow_factor <= 1.0:
+            raise ControlError(f"grow_factor must be > 1, got {grow_factor}")
+        if not 0.0 < shrink_factor < 1.0:
+            raise ControlError(
+                f"shrink_factor must be in (0, 1), got {shrink_factor}"
+            )
+        self.source = source
+        self.min_bytes = int(min_bytes)
+        self.max_bytes = int(max_bytes)
+        self.target_hit_rate = float(target_hit_rate)
+        self.grow_factor = float(grow_factor)
+        self.shrink_factor = float(shrink_factor)
+        self._cache = None
+        self._last: Optional[Tuple[float, float, float]] = None  # hits, misses, evictions
+        self.grows = 0
+        self.shrinks = 0
+        self.holds = 0
+        self.missing = 0
+
+    def bind(self, cache) -> "CacheBudgetTuner":
+        """Attach the cache whose ``set_byte_budget`` this tuner actuates."""
+        self._cache = cache
+        return self
+
+    def observe(self, record: MetricsRecord) -> None:
+        if self._cache is None:
+            raise ControlError(
+                "CacheBudgetTuner must be bound to a cache before it "
+                "observes records (call bind())"
+            )
+        try:
+            metrics = record.source(self.source)
+        except ObservabilityError:
+            self.missing += 1
+            return
+        hits = metrics.get("hits", 0.0)
+        misses = metrics.get("misses", 0.0)
+        evictions = metrics.get("evictions", 0.0)
+        previous = self._last
+        self._last = (hits, misses, evictions)
+        if previous is None:
+            self.holds += 1
+            return
+        d_hits = hits - previous[0]
+        d_misses = misses - previous[1]
+        d_evictions = evictions - previous[2]
+        d_requests = d_hits + d_misses
+        budget = float(metrics.get("max_bytes", self._cache.max_bytes))
+        stored = float(metrics.get("stored_bytes", 0.0))
+
+        if d_evictions > 0.0 and budget < self.max_bytes:
+            interval_hit_rate = d_hits / d_requests if d_requests else 0.0
+            if interval_hit_rate < self.target_hit_rate:
+                grown = min(self.max_bytes, int(budget * self.grow_factor))
+                self._cache.set_byte_budget(grown)
+                self.grows += 1
+                return
+        if (
+            d_evictions == 0.0
+            and d_misses == 0.0
+            and budget > self.min_bytes
+            and stored < self.shrink_factor * budget
+        ):
+            shrunk = max(self.min_bytes, int(budget * self.shrink_factor))
+            shrunk = max(shrunk, int(stored))  # never evict a warm resident set
+            if shrunk < budget:
+                self._cache.set_byte_budget(shrunk)
+                self.shrinks += 1
+                return
+        self.holds += 1

@@ -1,0 +1,93 @@
+"""One-shot auto-tuning of the engine's chunk byte budget.
+
+The chunked batch kernels stream query points through fixed-size chunks;
+PR 3's benchmarking found the counter-intuitive result that small (4 MiB)
+chunks beat large (64 MiB) ones — the working set stays in cache and the
+allocator stops churning.  The best size is still machine- and
+network-dependent, so :class:`ChunkBytesTuner` measures instead of
+assuming: it times a caller-supplied probe under each candidate budget and
+installs the winner process-wide via
+:func:`repro.engine.set_chunk_byte_budget`.
+
+Unlike the latency and cache controllers this is not a per-tick feedback
+loop — chunk sizing is a property of the machine, not of the traffic — so
+the tuner runs once (typically at service startup or from a benchmark
+harness) rather than subscribing to a hub.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..engine.batch import set_chunk_byte_budget
+from ..exceptions import ControlError
+
+__all__ = ["ChunkBytesTuner", "DEFAULT_CHUNK_CANDIDATES"]
+
+#: The PR 3 sweep grid: small-beats-large made 4 MiB the default, but the
+#: crossover point moves with core count and cache sizes.
+DEFAULT_CHUNK_CANDIDATES: Tuple[int, ...] = (
+    4 * 2**20,
+    16 * 2**20,
+    64 * 2**20,
+)
+
+
+class ChunkBytesTuner:
+    """Sweeps chunk-budget candidates over a probe and installs the winner.
+
+    Args:
+        candidates: chunk byte budgets to try, each positive.
+        repeats: timed runs per candidate; the per-candidate score is the
+            minimum (noise-robust for short probes).
+        timer: monotonic clock used for scoring — injectable for
+            deterministic tests; defaults to :func:`time.perf_counter`.
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[int] = DEFAULT_CHUNK_CANDIDATES,
+        repeats: int = 2,
+        timer: Optional[Callable[[], float]] = None,
+    ):
+        candidates = tuple(int(c) for c in candidates)
+        if not candidates:
+            raise ControlError("candidates must be a non-empty sequence")
+        if any(c <= 0 for c in candidates):
+            raise ControlError(
+                f"every chunk-budget candidate must be positive, got {candidates}"
+            )
+        if repeats < 1:
+            raise ControlError(f"repeats must be >= 1, got {repeats}")
+        self.candidates = candidates
+        self.repeats = int(repeats)
+        self._timer = timer if timer is not None else time.perf_counter
+        self.timings: Dict[int, float] = {}
+        self.chosen: Optional[int] = None
+
+    def tune(self, probe: Callable[[], object]) -> int:
+        """Time ``probe`` under each candidate; install and return the best.
+
+        The winning budget is left installed as the process-wide override
+        (:func:`repro.engine.set_chunk_byte_budget`); per-candidate scores
+        are kept in :attr:`timings`.  If the probe raises, the override is
+        cleared back to the environment-knob default before propagating.
+        """
+        timings: Dict[int, float] = {}
+        try:
+            for candidate in self.candidates:
+                set_chunk_byte_budget(candidate)
+                best = float("inf")
+                for _ in range(self.repeats):
+                    started = self._timer()
+                    probe()
+                    best = min(best, self._timer() - started)
+                timings[candidate] = best
+        except BaseException:
+            set_chunk_byte_budget(None)
+            raise
+        self.timings = timings
+        self.chosen = min(timings, key=timings.__getitem__)
+        set_chunk_byte_budget(self.chosen)
+        return self.chosen

@@ -115,6 +115,7 @@ from .batch import (
     points_per_chunk,
     received_at,
     received_mask,
+    set_chunk_byte_budget,
     sinr_batch,
     strongest_station_batch,
 )
@@ -153,6 +154,7 @@ __all__ = [
     "points_per_chunk",
     "received_at",
     "received_mask",
+    "set_chunk_byte_budget",
     "register_backend",
     "sinr_batch",
     "strongest_station_batch",

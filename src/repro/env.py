@@ -16,8 +16,9 @@ live outside the linted tree.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, FrozenSet, Tuple
 
 from .exceptions import ReproError
 
@@ -27,9 +28,14 @@ __all__ = [
     "ENGINE_CHUNK_BYTES",
     "ENGINE_WORKERS",
     "SERVICE_DRAIN_TIMEOUT",
+    "METRICS_INTERVAL",
+    "CONTROL_WAIT_TARGET",
+    "CONTROL_BUDGET_CAP",
     "BENCH_QUICK",
     "BENCH_MIN_SPEEDUP",
     "read_knob",
+    "read_bool_knob",
+    "read_float_knob",
 ]
 
 #: Byte budget for one engine call's kernel temporaries (see
@@ -41,6 +47,15 @@ ENGINE_WORKERS = "REPRO_ENGINE_WORKERS"
 
 #: Seconds a network swap waits for the previous epoch's batches to drain.
 SERVICE_DRAIN_TIMEOUT = "REPRO_SERVICE_DRAIN_TIMEOUT"
+
+#: Default collection interval, in seconds, of a metrics hub.
+METRICS_INTERVAL = "REPRO_METRICS_INTERVAL"
+
+#: Seal-wait p99 SLO (seconds) of the adaptive latency-budget controller.
+CONTROL_WAIT_TARGET = "REPRO_CONTROL_WAIT_TARGET"
+
+#: Upper bound (seconds) the adaptive latency budget may grow toward.
+CONTROL_BUDGET_CAP = "REPRO_CONTROL_BUDGET_CAP"
 
 #: Shrinks benchmark workloads for CI smoke runs.
 BENCH_QUICK = "REPRO_BENCH_QUICK"
@@ -81,9 +96,37 @@ _DECLARED: Tuple[EnvKnob, ...] = (
         ),
     ),
     EnvKnob(
+        name=METRICS_INTERVAL,
+        default="0.25",
+        description=(
+            "seconds between two metrics-hub collections (each registered "
+            "source is snapshotted and fanned out to every sink per tick)"
+        ),
+    ),
+    EnvKnob(
+        name=CONTROL_WAIT_TARGET,
+        default="0.02",
+        description=(
+            "seal-wait p99 SLO, in seconds, of the adaptive latency-budget "
+            "controller: a budget whose observed wait p99 exceeds it is "
+            "multiplicatively shrunk"
+        ),
+    ),
+    EnvKnob(
+        name=CONTROL_BUDGET_CAP,
+        default="0.02",
+        description=(
+            "cap, in seconds, the adaptive latency budget grows toward "
+            "under pressure (additive increase never exceeds it)"
+        ),
+    ),
+    EnvKnob(
         name=BENCH_QUICK,
         default="",
-        description="non-empty shrinks benchmark workloads (CI smoke mode)",
+        description=(
+            "truthy ('1'/'true'/'yes'/'on') shrinks benchmark workloads "
+            "(CI smoke mode); ''/'0'/'false'/'no'/'off' run at full scale"
+        ),
     ),
     EnvKnob(
         name=BENCH_MIN_SPEEDUP,
@@ -113,3 +156,44 @@ def read_knob(name: str, default: str = "") -> str:
             f"repro.env.KNOBS (declared: {sorted(KNOBS)})"
         )
     return os.environ.get(name, default)
+
+
+#: Spellings that mean "off" for a boolean flag knob (case-insensitive).
+FALSE_TOKENS: FrozenSet[str] = frozenset({"", "0", "false", "no", "off"})
+
+
+def read_bool_knob(name: str) -> bool:
+    """A declared *flag* knob as a boolean.
+
+    ``""``, ``"0"``, ``"false"``, ``"no"`` and ``"off"`` (any case,
+    surrounding whitespace ignored) are **False**; everything else is True.
+    This is the one boolean parser for the whole tree: ``bool(read_knob(
+    ...))`` would treat ``REPRO_BENCH_QUICK=0`` as *enabled*, which is
+    exactly the quick-mode mis-parse this function exists to prevent.
+    """
+    return read_knob(name).strip().lower() not in FALSE_TOKENS
+
+
+def read_float_knob(name: str, default: float) -> float:
+    """A declared knob as a float; warn and fall back on unparsable values.
+
+    Mirrors the lenient numeric-knob idiom of
+    :func:`repro.engine.batch.chunk_byte_budget`: an unset or empty knob is
+    silently ``default``, a malformed or non-positive one warns (so typos
+    are visible) and still yields ``default`` — configuration mistakes must
+    never take down a serving process.
+    """
+    raw = read_knob(name)
+    if raw.strip():
+        try:
+            configured = float(raw)
+        except ValueError:
+            configured = float("nan")
+        if configured > 0.0:
+            return configured
+        warnings.warn(
+            f"ignoring invalid {name}={raw!r} (expected a positive number); "
+            f"using {default}",
+            stacklevel=2,
+        )
+    return default

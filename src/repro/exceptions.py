@@ -87,6 +87,22 @@ class ServiceError(ReproError):
     """
 
 
+class ObservabilityError(ReproError):
+    """Raised for invalid metrics-hub configuration or lifecycle misuse.
+
+    Examples: registering two sources under one name, a non-positive
+    collection interval, or starting an already running hub.
+    """
+
+
+class ControlError(ReproError):
+    """Raised for invalid closed-loop controller configuration.
+
+    Examples: a budget floor above the cap, a non-positive AIMD step, or
+    actuating a controller that was never bound to its target.
+    """
+
+
 class ServiceClosedError(ServiceError):
     """Raised when a query is submitted to (or aborted by) a closed service.
 

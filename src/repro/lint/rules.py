@@ -265,22 +265,22 @@ class LockDisciplineRule(Rule):
 class AsyncPurityRule(Rule):
     """RL003: no blocking calls directly inside ``async def`` bodies.
 
-    Scoped to ``service/`` and ``workloads/`` (the asyncio tier): one
-    ``time.sleep`` or ``future.result()`` on the event loop stalls every
-    batcher deadline at once.  Nested *sync* ``def`` helpers are skipped —
-    they are what the dispatch executor threads run.
+    Scoped to ``service/``, ``workloads/`` and ``obs/`` (the asyncio tier):
+    one ``time.sleep`` or ``future.result()`` on the event loop stalls every
+    batcher deadline and metrics tick at once.  Nested *sync* ``def``
+    helpers are skipped — they are what the dispatch executor threads run.
     """
 
     rule_id = "RL003"
     title = "async purity"
     contract = (
-        "async def bodies in service/ and workloads/ never call time.sleep, "
-        "subprocess.*, open() or Future.result() — blocking work belongs on "
-        "the dispatch executor, awaits on the loop"
+        "async def bodies in service/, workloads/ and obs/ never call "
+        "time.sleep, subprocess.*, open() or Future.result() — blocking work "
+        "belongs on the dispatch executor, awaits on the loop"
     )
 
     def applies_to(self, relpath: str) -> bool:
-        return relpath.startswith(("service/", "workloads/"))
+        return relpath.startswith(("service/", "workloads/", "obs/"))
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         table = _import_table(ctx.tree)

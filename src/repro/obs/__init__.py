@@ -1,0 +1,34 @@
+"""Observability layer: a metrics hub, source adapters and stock sinks.
+
+The hub (:class:`MetricsHub`) periodically samples registered *sources*
+(zero-argument callables returning ``{metric: float}``) into immutable
+:class:`MetricsRecord` snapshots and fans each one out to registered
+*sinks* (anything with ``emit(record)``).  Source adapters over the stock
+stats objects live in :mod:`repro.obs.sources`; ring-buffer, JSONL and log
+sinks in :mod:`repro.obs.sinks`.  The closed-loop controllers of
+:mod:`repro.control` consume records through the same sink protocol.
+"""
+
+from .hub import MetricSource, MetricsHub, MetricsRecord
+from .sinks import JsonlSink, LogSink, MemorySink
+from .sources import (
+    batcher_depth_source,
+    cache_stats_source,
+    query_service_source,
+    screen_stats_source,
+    service_stats_source,
+)
+
+__all__ = [
+    "JsonlSink",
+    "LogSink",
+    "MemorySink",
+    "MetricSource",
+    "MetricsHub",
+    "MetricsRecord",
+    "batcher_depth_source",
+    "cache_stats_source",
+    "query_service_source",
+    "screen_stats_source",
+    "service_stats_source",
+]

@@ -1,0 +1,115 @@
+"""Source adapters over the stock stats objects of the serving stack.
+
+Each factory wraps one stats-bearing object in a zero-argument callable
+returning a flat ``{metric_name: float}`` mapping — the
+:data:`~repro.obs.hub.MetricSource` shape :class:`~repro.obs.hub.MetricsHub`
+collects.  The adapters duck-type their subjects (anything with the same
+``snapshot()`` / ``stats()`` / counter surface works), so this module never
+imports the service, raster or engine layers and cannot create an import
+cycle with them.
+
+Counter-valued metrics (submitted, hits, evictions, …) are cumulative; a
+consumer wanting per-interval rates takes deltas between consecutive
+records, which is exactly what the :mod:`repro.control` tuners do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Mapping
+
+__all__ = [
+    "batcher_depth_source",
+    "cache_stats_source",
+    "query_service_source",
+    "screen_stats_source",
+    "service_stats_source",
+]
+
+
+def _flatten(snapshot: object) -> Dict[str, float]:
+    """Numeric fields of a (possibly dataclass) snapshot as ``{name: float}``."""
+    if dataclasses.is_dataclass(snapshot) and not isinstance(snapshot, type):
+        fields = dataclasses.asdict(snapshot)
+    elif isinstance(snapshot, Mapping):
+        fields = dict(snapshot)
+    else:
+        fields = {
+            name: getattr(snapshot, name)
+            for name in dir(snapshot)
+            if not name.startswith("_")
+            and not callable(getattr(snapshot, name))
+        }
+    flat: Dict[str, float] = {}
+    for name, value in fields.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        flat[str(name)] = float(value)
+    return flat
+
+
+def service_stats_source(stats: object) -> Callable[[], Dict[str, float]]:
+    """Adapter over a :class:`repro.service.ServiceStats` (or any object
+    whose ``snapshot()`` returns a numeric dataclass)."""
+    def sample() -> Dict[str, float]:
+        return _flatten(stats.snapshot())
+
+    return sample
+
+
+def query_service_source(service: object) -> Callable[[], Dict[str, float]]:
+    """Adapter over a :class:`repro.service.QueryService`.
+
+    The service snapshot's percentile/counter fields plus the live batcher
+    gauges the controllers key off: ``queue_depth`` (unsealed entries),
+    ``inflight_batches`` (sealed batches still executing — the congestion
+    signal) and the current ``latency_budget``.
+    """
+    def sample() -> Dict[str, float]:
+        flat = _flatten(service.stats_snapshot())
+        batcher = getattr(service, "_batcher", None)
+        if batcher is not None:
+            flat["queue_depth"] = float(batcher.queue_depth)
+            flat["inflight_batches"] = float(batcher.inflight_batches)
+            flat["latency_budget"] = float(batcher.latency_budget)
+        return flat
+
+    return sample
+
+
+def batcher_depth_source(batcher: object) -> Callable[[], Dict[str, float]]:
+    """Adapter over a bare :class:`repro.service.MicroBatcher`'s gauges."""
+    def sample() -> Dict[str, float]:
+        return {
+            "queue_depth": float(batcher.queue_depth),
+            "inflight_batches": float(batcher.inflight_batches),
+            "latency_budget": float(batcher.latency_budget),
+        }
+
+    return sample
+
+
+def cache_stats_source(cache: object) -> Callable[[], Dict[str, float]]:
+    """Adapter over a :class:`repro.raster.TileCache` (or anything whose
+    ``stats()`` returns a :class:`~repro.raster.cache.CacheStats`-shaped
+    snapshot), including the derived ``requests`` / ``hit_rate``."""
+    def sample() -> Dict[str, float]:
+        stats = cache.stats()
+        flat = _flatten(stats)
+        flat["requests"] = float(stats.requests)
+        flat["hit_rate"] = float(stats.hit_rate)
+        return flat
+
+    return sample
+
+
+def screen_stats_source(stats: object) -> Callable[[], Dict[str, float]]:
+    """Adapter over a mixed-precision :class:`repro.engine.ScreenStats`."""
+    def sample() -> Dict[str, float]:
+        return {
+            "screened": float(stats.screened),
+            "verified": float(stats.verified),
+            "verify_fraction": float(stats.verify_fraction()),
+        }
+
+    return sample

@@ -35,6 +35,12 @@ The pieces
     concurrent zoom/pan clients reuse each other's tiles (responses stay
     bit-identical to the uncached rasteriser).
 
+Both services accept ``metrics=`` (a :class:`repro.obs.MetricsHub` they
+report into) and ``controller=`` (a :class:`repro.control.Controller`
+closing the loop on the batcher's latency budget or the cache's byte
+budget); controllers are gated off automatically while an epoch swap is in
+progress.
+
 Backend / service matrix
 ========================
 

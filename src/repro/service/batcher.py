@@ -223,6 +223,42 @@ class MicroBatcher:
         self._dispatcher = None
         self._stopped = True
 
+    # -- runtime retuning ------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Queries queued but not yet sealed into a batch."""
+        return len(self._queue)
+
+    @property
+    def inflight_batches(self) -> int:
+        """Sealed batches whose engine call has not resolved yet.
+
+        The congestion signal adaptive control keys off: a value persistently
+        above the dispatch worker count means batches are being sealed faster
+        than the engine answers them.
+        """
+        return len(self._inflight)
+
+    def set_latency_budget(self, budget: float) -> None:
+        """Retune the accumulation window at runtime, from any thread.
+
+        The assignment itself is atomic (one float store); the dispatcher
+        re-reads the budget on every wake, and this method additionally wakes
+        it through the loop so a *shrunk* budget re-arms the deadline of the
+        batch currently accumulating instead of letting it sleep out the old
+        window.  Safe to call before :meth:`start` (it simply becomes the
+        initial budget) and after :meth:`stop` (no effect).
+        """
+        if budget < 0.0:
+            raise ServiceError("latency_budget must be >= 0")
+        self.latency_budget = float(budget)
+        loop, wake = self._loop, self._wake
+        if loop is not None and wake is not None and not self._stopped:
+            try:
+                loop.call_soon_threadsafe(wake.set)
+            except RuntimeError:  # loop already closed; nothing left to re-arm
+                pass
+
     # -- epoch handoff ---------------------------------------------------
     def set_locate(self, locate: Callable[[np.ndarray], np.ndarray]) -> None:
         """Install a new batch answer function for *subsequently sealed* batches.
@@ -299,8 +335,11 @@ class MicroBatcher:
                     return
                 await self._wake.wait()
                 continue
-            deadline = self._queue[0].submitted_at + self.latency_budget
             while not self._closing and len(self._queue) < self.max_batch_size:
+                # Re-read the budget every wake: set_latency_budget may have
+                # retuned it (adaptive control), and the new window must
+                # govern the batch currently accumulating.
+                deadline = self._queue[0].submitted_at + self.latency_budget
                 remaining = deadline - loop.time()
                 if remaining <= 0.0:
                     break

@@ -46,6 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..geometry.point import Point
     from ..model.delta import NetworkDelta
     from ..model.network import WirelessNetwork
+    from ..obs import MetricsHub
 
 #: One query point in any form locate() accepts.
 PointLike = Union["Point", Tuple[float, float], "np.ndarray"]
@@ -65,6 +66,18 @@ class QueryService:
         build_options: forwarded to the locator factory's ``build`` when
             ``locator`` is a name (e.g. ``{"epsilon": 0.3}`` or
             ``{"shards": 8}``).
+        metrics: an optional :class:`repro.obs.MetricsHub` to report into.
+            The service registers a :func:`repro.obs.query_service_source`
+            under a unique name (``"service"`` when free) at construction
+            and deregisters it — plus any controller sink — when stopped;
+            the hub's own lifecycle stays with the caller.
+        controller: an optional :class:`repro.control.Controller` (e.g.
+            :class:`repro.control.AdaptiveLatencyBudget`) closing the loop
+            on this service's batcher.  It is bound to the batcher, pointed
+            at this service's metrics source, gated off while an epoch swap
+            is in progress, and registered as a sink.  When no ``metrics``
+            hub is supplied the service creates a private one and runs its
+            periodic task over the service's own lifetime.
         **batcher_options: :class:`MicroBatcher` knobs — ``latency_budget``,
             ``max_batch_size``, ``max_pending``, ``dispatch_in_thread``,
             ``dispatch_workers``.
@@ -81,6 +94,8 @@ class QueryService:
         locator: Union[str, Locator, None] = "voronoi",
         *,
         build_options: Optional[Mapping[str, object]] = None,
+        metrics: "Optional[MetricsHub]" = None,
+        controller: Optional[object] = None,
         **batcher_options: object,
     ) -> None:
         self.network = network
@@ -106,6 +121,36 @@ class QueryService:
             self.locator_name = getattr(locator, "name", type(locator).__name__)
         self._prebuilt = not (locator is None or isinstance(locator, str))
         self._batcher = MicroBatcher(self.locator.locate_batch, **batcher_options)
+        self._swap_in_progress = False
+        self._owns_hub = controller is not None and metrics is None
+        if self._owns_hub:
+            # Imported lazily: the observability layer is optional wiring,
+            # and obs itself never imports the service tier (sources
+            # duck-type their subjects), so this cannot cycle.
+            from ..obs import MetricsHub
+
+            metrics = MetricsHub()
+        self.metrics = metrics
+        self.controller = controller
+        self._metrics_source_name: Optional[str] = None
+        if metrics is not None:
+            from ..obs import query_service_source
+
+            name = metrics.unique_source_name("service")
+            metrics.add_source(name, query_service_source(self))
+            self._metrics_source_name = name
+            if controller is not None:
+                # getattr/setattr narrowing: controllers are duck-typed (any
+                # hub sink works), so only wire the hooks a given one has.
+                if hasattr(controller, "source"):
+                    setattr(controller, "source", name)
+                set_gate = getattr(controller, "set_gate", None)
+                if callable(set_gate):
+                    set_gate(lambda: self._swap_in_progress)
+                bind = getattr(controller, "bind", None)
+                if callable(bind):
+                    bind(self._batcher)
+                metrics.add_sink(controller)
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -114,10 +159,25 @@ class QueryService:
 
     async def start(self) -> "QueryService":
         await self._batcher.start()
+        if self._owns_hub and self.metrics is not None:
+            await self.metrics.start()
         return self
 
     async def stop(self, drain: bool = True) -> None:
+        if self._owns_hub and self.metrics is not None and self.metrics.running:
+            # Stop the hub while the batcher is still draining-capable: its
+            # final collect records the post-traffic stats, and the gated
+            # controller sees them before the service goes away.
+            await self.metrics.stop()
         await self._batcher.stop(drain=drain)
+        if self.metrics is not None and not self._owns_hub:
+            # A shared hub outlives this service: withdraw our source and
+            # controller sink so later ticks don't sample a stopped batcher.
+            if self._metrics_source_name is not None:
+                self.metrics.remove_source(self._metrics_source_name)
+                self._metrics_source_name = None
+            if self.controller is not None:
+                self.metrics.remove_sink(self.controller)
 
     async def __aenter__(self) -> "QueryService":
         return await self.start()
@@ -189,36 +249,50 @@ class QueryService:
         """
         loop = asyncio.get_running_loop()
         started = loop.time()
-        if locator is None:
-            previous = self.locator
-            context = contextvars.copy_context()
-            if hasattr(previous, "updated"):
-                build = functools.partial(previous.updated, new_network, delta)
-            elif not self._prebuilt:
-                build = functools.partial(
-                    build_locator, new_network, self._locator_spec,
-                    **self._build_options,
-                )
-            else:
+        # Gate any attached controller for the whole build-flip-drain span:
+        # a control decision computed from pre-swap metrics must not actuate
+        # mid-drain (the metrics hub keeps *collecting* throughout — only
+        # actuation pauses).
+        self._swap_in_progress = True
+        try:
+            if locator is None:
+                previous = self.locator
+                context = contextvars.copy_context()
+                if hasattr(previous, "updated"):
+                    build = functools.partial(previous.updated, new_network, delta)
+                elif not self._prebuilt:
+                    build = functools.partial(
+                        build_locator, new_network, self._locator_spec,
+                        **self._build_options,
+                    )
+                else:
+                    raise ServiceError(
+                        "cannot rebuild an opaque pre-built locator for a new "
+                        "network; pass locator= to swap_network"
+                    )
+                locator = await loop.run_in_executor(None, context.run, build)
+            elif not hasattr(locator, "locate_batch"):
                 raise ServiceError(
-                    "cannot rebuild an opaque pre-built locator for a new "
-                    "network; pass locator= to swap_network"
+                    "a pre-built locator must provide locate_batch(points)"
                 )
-            locator = await loop.run_in_executor(None, context.run, build)
-        elif not hasattr(locator, "locate_batch"):
-            raise ServiceError(
-                "a pre-built locator must provide locate_batch(points)"
-            )
-        self.network = new_network
-        self.locator = locator
-        self._batcher.set_locate(locator.locate_batch)
-        self.stats.record_swap(loop.time() - started)
-        if drain_old and self.running:
-            timeout = float(read_knob(SERVICE_DRAIN_TIMEOUT, "30") or "30")
-            await self._batcher.drain_inflight(timeout=timeout)
+            self.network = new_network
+            self.locator = locator
+            self._batcher.set_locate(locator.locate_batch)
+            self.stats.record_swap(loop.time() - started)
+            if drain_old and self.running:
+                timeout = float(read_knob(SERVICE_DRAIN_TIMEOUT, "30") or "30")
+                await self._batcher.drain_inflight(timeout=timeout)
+        finally:
+            self._swap_in_progress = False
         return locator
 
     # -- introspection ---------------------------------------------------
+    @property
+    def swap_in_progress(self) -> bool:
+        """``True`` while :meth:`swap_network` is building, flipping or
+        draining — the window where attached controllers are gated."""
+        return self._swap_in_progress
+
     @property
     def stats(self) -> ServiceStats:
         return self._batcher.stats

@@ -22,6 +22,7 @@ safe to hand across threads.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Iterable, Sequence
@@ -38,13 +39,23 @@ def _percentile(samples: Sequence[float], fraction: float) -> float:
     """Nearest-rank percentile of ``samples`` (``nan`` when empty).
 
     Nearest-rank keeps the answer an actually observed value, which is the
-    honest choice for small reservoirs; ``fraction`` is in ``[0, 1]``.
+    honest choice for small reservoirs; ``fraction`` is in ``[0, 1]``.  The
+    rank is the standard ``ceil(fraction * n)`` (1-based): the smallest
+    sample with at least ``fraction`` of the data at or below it.  An
+    earlier ``round(fraction * (n - 1))`` variant under-reported the tail
+    (banker's rounding plus the ``n - 1`` scaling can pick the sample one
+    rank *below* the nearest-rank p99), which would mislead every latency
+    gate and controller fed from these reservoirs.
     """
     if not samples:
         return float("nan")
-    ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
-    return ordered[rank]
+    return _ranked(sorted(samples), fraction)
+
+
+def _ranked(ordered: Sequence[float], fraction: float) -> float:
+    """Nearest-rank pick from an already-sorted ``ordered`` (non-empty)."""
+    rank = math.ceil(fraction * len(ordered)) - 1
+    return ordered[min(len(ordered) - 1, max(0, rank))]
 
 
 @dataclass(frozen=True)
@@ -152,6 +163,12 @@ class ServiceStats:
         return _percentile(tuple(self._latencies), fraction)
 
     def snapshot(self) -> StatsSnapshot:
+        # Sort each reservoir once and take both percentiles from the
+        # sorted copy: snapshot() is on the metrics hub's per-tick path,
+        # where resorting 4096 samples per percentile is measurable.
+        waits = sorted(self._waits)
+        latencies = sorted(self._latencies)
+        nan = float("nan")
         return StatsSnapshot(
             submitted=self.submitted,
             completed=self.completed,
@@ -160,10 +177,10 @@ class ServiceStats:
             batches=self.batches,
             mean_batch_size=self.mean_batch_size,
             max_batch_size=self.max_batch_size,
-            wait_p50=self.wait_percentile(0.50),
-            wait_p99=self.wait_percentile(0.99),
-            latency_p50=self.latency_percentile(0.50),
-            latency_p99=self.latency_percentile(0.99),
+            wait_p50=_ranked(waits, 0.50) if waits else nan,
+            wait_p99=_ranked(waits, 0.99) if waits else nan,
+            latency_p50=_ranked(latencies, 0.50) if latencies else nan,
+            latency_p99=_ranked(latencies, 0.99) if latencies else nan,
             epoch=self.epoch,
             swaps=self.swaps,
             last_swap_seconds=self.last_swap_seconds,

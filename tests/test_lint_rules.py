@@ -217,6 +217,17 @@ class TestRL003AsyncPurity:
         """
         assert not findings_for("RL003", violating, path="model/x.py")
 
+    def test_obs_tier_is_in_scope(self):
+        # The metrics hub's periodic task shares the event loop with the
+        # batcher; a blocking call in obs/ stalls both.
+        violating = """
+            import time
+
+            async def ticker():
+                time.sleep(1)
+        """
+        assert findings_for("RL003", violating, path="obs/hub.py")
+
 
 class TestRL004SelectionDiscipline:
     def test_flags_plain_global_selection_state(self):

@@ -1,0 +1,179 @@
+"""Regression tests for boolean knobs and benchmark persistence.
+
+Two historical bugs are pinned here:
+
+* ``quick_mode()`` read the quick flag as ``bool(read_knob(...))`` — any
+  non-empty value, including ``REPRO_BENCH_QUICK=0`` and ``=false``,
+  *enabled* quick mode.  The fix routes every flag knob through
+  :func:`repro.env.read_bool_knob` with explicit false tokens.
+* ``record_benchmark()`` did an unlocked read-modify-write of
+  ``BENCH_engine.json`` — two concurrent recorders (pytest-xdist, parallel
+  CI legs) could each read the same base state and the later ``os.replace``
+  silently dropped the earlier writer's section.  The fix serialises the
+  cycle under an advisory file lock; the threaded test here loses sections
+  on the pre-fix code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+
+import pytest
+
+from repro.env import (
+    BENCH_QUICK,
+    METRICS_INTERVAL,
+    read_bool_knob,
+    read_float_knob,
+)
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "benchmarks")
+)
+
+import persist  # noqa: E402  (needs the benchmarks/ dir on sys.path first)
+
+
+# ----------------------------------------------------------------------
+# Boolean / float knob parsing
+# ----------------------------------------------------------------------
+class TestReadBoolKnob:
+    @pytest.mark.parametrize(
+        "raw", ["", "0", "false", "False", "FALSE", "no", "No", "off", "OFF",
+                " 0 ", "  false  "]
+    )
+    def test_false_tokens(self, monkeypatch, raw):
+        monkeypatch.setenv(BENCH_QUICK, raw)
+        assert read_bool_knob(BENCH_QUICK) is False
+
+    @pytest.mark.parametrize("raw", ["1", "true", "True", "yes", "on", "2", "quick"])
+    def test_true_tokens(self, monkeypatch, raw):
+        monkeypatch.setenv(BENCH_QUICK, raw)
+        assert read_bool_knob(BENCH_QUICK) is True
+
+    def test_unset_is_false(self, monkeypatch):
+        monkeypatch.delenv(BENCH_QUICK, raising=False)
+        assert read_bool_knob(BENCH_QUICK) is False
+
+
+class TestReadFloatKnob:
+    def test_valid_value(self, monkeypatch):
+        monkeypatch.setenv(METRICS_INTERVAL, "0.5")
+        assert read_float_knob(METRICS_INTERVAL, 0.25) == 0.5
+
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv(METRICS_INTERVAL, raising=False)
+        assert read_float_knob(METRICS_INTERVAL, 0.25) == 0.25
+
+    @pytest.mark.parametrize("raw", ["junk", "0", "-1.5", "nan"])
+    def test_invalid_or_nonpositive_warns_and_defaults(self, monkeypatch, raw):
+        monkeypatch.setenv(METRICS_INTERVAL, raw)
+        with pytest.warns(UserWarning, match=METRICS_INTERVAL):
+            assert read_float_knob(METRICS_INTERVAL, 0.25) == 0.25
+
+
+# ----------------------------------------------------------------------
+# quick_mode() regression
+# ----------------------------------------------------------------------
+class TestQuickMode:
+    @pytest.mark.parametrize("raw", ["0", "false", "no", "off", ""])
+    def test_explicitly_disabled_means_full_run(self, monkeypatch, raw):
+        """REPRO_BENCH_QUICK=0 must mean FULL mode (pre-fix: quick)."""
+        monkeypatch.setenv("REPRO_BENCH_QUICK", raw)
+        assert persist.quick_mode() is False
+
+    def test_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        assert persist.quick_mode() is True
+
+    def test_unset_means_full_run(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_QUICK", raising=False)
+        assert persist.quick_mode() is False
+
+    def test_record_benchmark_group_follows_quick_mode(self, monkeypatch, tmp_path):
+        path = str(tmp_path / "bench.json")
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "0")
+        persist.record_benchmark("s", {"v": 1}, path=path)
+        data = json.loads(open(path).read())
+        assert "full" in data and "quick" not in data
+
+
+# ----------------------------------------------------------------------
+# record_benchmark(): merging, SHA resets, concurrency
+# ----------------------------------------------------------------------
+class TestRecordBenchmark:
+    def test_sections_merge_within_a_group(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        persist.record_benchmark("alpha", {"v": 1}, path=path, quick=False)
+        persist.record_benchmark("beta", {"v": 2}, path=path, quick=False)
+        data = json.loads(open(path).read())
+        assert data["schema"] == 2
+        assert set(data["full"]["results"]) == {"alpha", "beta"}
+
+    def test_groups_are_independent(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        persist.record_benchmark("alpha", {"v": 1}, path=path, quick=False)
+        persist.record_benchmark("alpha", {"v": 2}, path=path, quick=True)
+        data = json.loads(open(path).read())
+        assert data["full"]["results"]["alpha"] == {"v": 1}
+        assert data["quick"]["results"]["alpha"] == {"v": 2}
+
+    def test_new_sha_resets_only_its_group(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "bench.json")
+        persist.record_benchmark("alpha", {"v": 1}, path=path, quick=False)
+        persist.record_benchmark("alpha", {"v": 2}, path=path, quick=True)
+        # Simulate a run at a different commit.
+        monkeypatch.setattr(persist, "current_git_sha", lambda: "deadbeef")
+        persist.record_benchmark("beta", {"v": 3}, path=path, quick=True)
+        data = json.loads(open(path).read())
+        assert data["quick"]["git_sha"] == "deadbeef"
+        assert set(data["quick"]["results"]) == {"beta"}  # quick group reset
+        assert set(data["full"]["results"]) == {"alpha"}  # full group kept
+
+    def test_concurrent_recorders_lose_no_sections(self, tmp_path):
+        """Threaded writers racing one file: every section must survive.
+
+        On the pre-fix (unlocked) code several threads read the same base
+        JSON, each merged only its own section, and the last os.replace
+        won — silently discarding the others.
+        """
+        path = str(tmp_path / "bench.json")
+        threads, errors = [], []
+        writers = 8
+        sections_per_writer = 5
+        barrier = threading.Barrier(writers)
+
+        def record(writer: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for index in range(sections_per_writer):
+                    persist.record_benchmark(
+                        f"writer{writer}_section{index}",
+                        {"writer": writer, "index": index},
+                        path=path,
+                        quick=False,
+                    )
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        for writer in range(writers):
+            thread = threading.Thread(target=record, args=(writer,))
+            threads.append(thread)
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        data = json.loads(open(path).read())
+        recorded = set(data["full"]["results"])
+        expected = {
+            f"writer{w}_section{i}"
+            for w in range(writers)
+            for i in range(sections_per_writer)
+        }
+        assert recorded == expected, (
+            f"lost {sorted(expected - recorded)} to the read-modify-write race"
+        )

@@ -723,6 +723,38 @@ class TestRouterAndFacade:
         with pytest.raises(ServiceError):
             ServiceStats(reservoir_size=0)
 
+    def test_percentile_is_nearest_rank_regression(self):
+        """Pin the nearest-rank ``ceil(f*n)`` percentile definition.
+
+        The earlier ``round(fraction * (n - 1))`` variant under-reported
+        the tail: banker's rounding plus the ``n - 1`` scaling could pick
+        the sample one rank below nearest-rank, so every assertion here
+        fails on the pre-fix code (67 samples: p99 was 66.0; 4 and 8
+        samples: p50 was the rank *above* the median).
+        """
+        stats = ServiceStats(reservoir_size=128)
+        stats.record_batch(67, [float(value) for value in range(1, 68)])
+        # Nearest rank: ceil(0.99 * 67) = 67th sample -> 67.0 (pre-fix 66.0).
+        assert stats.wait_percentile(0.99) == 67.0
+        assert stats.wait_percentile(0.50) == 34.0
+
+        four = ServiceStats(reservoir_size=8)
+        four.record_batch(4, [1.0, 2.0, 3.0, 4.0])
+        # ceil(0.5 * 4) = 2nd sample -> 2.0 (pre-fix round(1.5) -> 3.0).
+        assert four.wait_percentile(0.50) == 2.0
+
+        eight = ServiceStats(reservoir_size=8)
+        eight.record_batch(8, [float(value) for value in range(1, 9)])
+        # ceil(0.5 * 8) = 4th sample -> 4.0 (pre-fix round(3.5) -> 5.0).
+        assert eight.wait_percentile(0.50) == 4.0
+        # Fraction edges stay clamped to the observed extremes.
+        assert eight.wait_percentile(0.0) == 1.0
+        assert eight.wait_percentile(1.0) == 8.0
+        # Latencies go through the same reservoir percentile.
+        for value in range(1, 5):
+            eight.record_completed(float(value))
+        assert eight.latency_percentile(0.50) == 2.0
+
     def test_micro_batcher_accepts_point_objects(self, network):
         from repro import Point
 
