@@ -8,25 +8,38 @@ an epoch swap's drain window) and then hands the record to the subclass's
 ``observe``.  Gated records are counted, not queued — control laws are
 written against fresh state, and a decision computed before a swap must
 not fire after it.
+
+Controllers are :class:`~repro.runtime.Component`\\ s with a *passive*
+lifecycle: they own no tasks, so ``start()`` is optional and exists for
+uniform composition under a :class:`~repro.runtime.Runtime`.  ``stop()``
+retires the control law for good — a closed controller rejects further
+``emit`` calls with :class:`~repro.exceptions.ControlClosedError` rather
+than silently actuating a knob on behalf of a stack that is shutting down.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..exceptions import ControlClosedError, ControlError
 from ..obs.hub import MetricsRecord
+from ..runtime.component import Component
 
 __all__ = ["Controller"]
 
 
-class Controller:
+class Controller(Component):
     """Base class for closed-loop controllers fed by a metrics hub.
 
     Subclasses implement ``observe(record)``; everything else (the sink
-    protocol, the gate, the observed/skipped counters) lives here.  The
-    hub serialises emits — one tick finishes before the next begins — so
-    ``observe`` never runs concurrently with itself.
+    protocol, the gate, the observed/skipped counters, the Component
+    lifecycle) lives here.  The hub serialises emits — one tick finishes
+    before the next begins — so ``observe`` never runs concurrently with
+    itself.
     """
+
+    lifecycle_error = ControlError
+    closed_error = ControlClosedError
 
     def __init__(self) -> None:
         self._gate: Optional[Callable[[], bool]] = None
@@ -39,6 +52,7 @@ class Controller:
 
     def emit(self, record: MetricsRecord) -> None:
         """Sink-protocol entry point called by the hub on every tick."""
+        self._ensure_open()
         gate = self._gate
         if gate is not None and gate():
             self.skipped += 1

@@ -34,24 +34,31 @@ other's choice, and the context-manager form restores the previous selection
 even when an exception escapes the block.  The registry itself is guarded by
 a lock, and name-based selections are re-resolved on every query, so
 re-registering a backend under an active name takes effect immediately.
+
+Since the runtime unification, all of that machinery is one
+:class:`repro.runtime.Registry` instantiation (:data:`BACKENDS`, kind
+``"backend"``): this module contributes the backends and keeps the
+historical function surface as thin delegates, and a selection can cross a
+process boundary as the spec string ``"backend/<name>"``
+(:meth:`~repro.runtime.Registry.to_spec`).
 """
 
 from __future__ import annotations
 
 import math
-import threading
-from contextvars import ContextVar, Token
-from typing import Dict, Protocol, Union, runtime_checkable
+from typing import Dict, Protocol, cast, runtime_checkable
 
 import numpy as np
 
 from ..exceptions import ReproError
+from ..runtime.registry import Registry, Selection
 from . import kernels
 
 __all__ = [
     "QueryBackend",
     "NumpyBackend",
     "ReferenceBackend",
+    "BACKENDS",
     "register_backend",
     "available_backends",
     "get_backend",
@@ -332,17 +339,33 @@ class ReferenceBackend:
         return out
 
 
-_BACKENDS: Dict[str, QueryBackend] = {}
-_registry_lock = threading.Lock()
+class _BackendSelection(Selection[QueryBackend]):
+    """Result of :func:`use_backend`: effective immediately, optional context manager.
 
-#: The active *selection*, not the active backend object: a registered name
-#: stays a name and is re-resolved on every :func:`active_backend` call, so a
-#: re-registration under that name takes effect immediately; an explicitly
-#: passed backend object is stored as-is.  Being a ContextVar, the selection
-#: is isolated per thread / async task and defaults to ``"numpy"`` wherever
-#: nothing was selected.
-_selection: ContextVar[Union[str, QueryBackend]] = ContextVar(
-    "repro_engine_backend", default="numpy"
+    ``backend`` re-resolves name-based selections on access, so it tracks
+    re-registrations just like :func:`active_backend`.  The value bound by
+    ``with use_backend(name) as b`` is necessarily a snapshot taken at entry;
+    prefer :func:`active_backend` (or the ``backend`` property) inside the
+    block when re-registration during the block is a possibility.
+    """
+
+    @property
+    def backend(self) -> QueryBackend:
+        return self.value
+
+
+#: The engine backend registry — a :class:`repro.runtime.Registry`
+#: instantiation.  Name-based selections are re-resolved on every query
+#: (re-registration under an active name takes effect immediately), the
+#: ContextVar isolates selections per thread / async task with ``"numpy"``
+#: as the default, and ``BACKENDS.to_spec(name)`` renders a portable
+#: ``"backend/<name>"`` spec.
+BACKENDS: Registry[QueryBackend] = Registry(
+    "backend",
+    label="engine backend",
+    default="numpy",
+    error=ReproError,
+    selection_type=_BackendSelection,
 )
 
 
@@ -354,32 +377,21 @@ def register_backend(name: str, backend: QueryBackend) -> None:
     effect immediately — :func:`active_backend` never returns the stale
     previously-registered object.
     """
-    with _registry_lock:
-        _BACKENDS[name] = backend
+    BACKENDS.register(name, backend)
 
 
 def available_backends() -> Dict[str, QueryBackend]:
-    """Name -> backend mapping of everything registered (a snapshot copy)."""
-    with _registry_lock:
-        return dict(_BACKENDS)
+    """Name -> backend mapping of everything registered (a snapshot copy).
+
+    Sorted by name, so iteration order is deterministic across runs and
+    interpreters regardless of registration order.
+    """
+    return BACKENDS.snapshot()
 
 
 def get_backend(name: "str | QueryBackend | None" = None) -> QueryBackend:
     """Resolve a backend: None -> the active one, a str -> by name, else as-is."""
-    if name is None:
-        return active_backend()
-    if isinstance(name, str):
-        # Lock-free read: dict lookups are atomic under the GIL, and this is
-        # on the hot path of every batch query (re-resolution of name-based
-        # selections).  The lock only serialises writers.
-        backend = _BACKENDS.get(name)
-        if backend is None:
-            raise ReproError(
-                f"unknown engine backend {name!r}; "
-                f"available: {sorted(_BACKENDS)}"
-            )
-        return backend
-    return name
+    return BACKENDS.get(name)
 
 
 def active_backend() -> QueryBackend:
@@ -389,39 +401,7 @@ def active_backend() -> QueryBackend:
     task sees its own :func:`use_backend` choices (falling back to
     ``"numpy"`` where none was made).
     """
-    selected = _selection.get()
-    if isinstance(selected, str):
-        return get_backend(selected)
-    return selected
-
-
-class _BackendSelection:
-    """Result of :func:`use_backend`: effective immediately, optional context manager.
-
-    ``backend`` re-resolves name-based selections on access, so it tracks
-    re-registrations just like :func:`active_backend`.  The value bound by
-    ``with use_backend(name) as b`` is necessarily a snapshot taken at entry;
-    prefer :func:`active_backend` (or the ``backend`` property) inside the
-    block when re-registration during the block is a possibility.
-    """
-
-    def __init__(
-        self, token: "Token[Union[str, QueryBackend]] | None", selected: "str | QueryBackend"
-    ) -> None:
-        self._token = token
-        self._selected = selected
-
-    @property
-    def backend(self) -> QueryBackend:
-        return get_backend(self._selected)
-
-    def __enter__(self) -> QueryBackend:
-        return self.backend
-
-    def __exit__(self, *exc_info: object) -> None:
-        if self._token is not None:
-            _selection.reset(self._token)
-            self._token = None
+    return BACKENDS.active()
 
 
 def use_backend(name: "str | QueryBackend") -> _BackendSelection:
@@ -432,13 +412,7 @@ def use_backend(name: "str | QueryBackend") -> _BackendSelection:
     previous selection is restored on exit (also when an exception escapes
     the block), and nested selections unwind in order.
     """
-    # Resolve eagerly so an unknown name raises here, not at first query.
-    get_backend(name)
-    # The selection stores the *name* when one was given, so later
-    # re-registrations under it are picked up on re-resolution; an explicitly
-    # passed backend object is stored as-is.
-    token = _selection.set(name)
-    return _BackendSelection(token, name)
+    return cast(_BackendSelection, BACKENDS.use(name))
 
 
 register_backend("numpy", NumpyBackend())

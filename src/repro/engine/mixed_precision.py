@@ -99,6 +99,15 @@ class ScreenStats:
         """Fraction of screened points that needed exact verification."""
         return self.verified / self.screened if self.screened else 0.0
 
+    def metrics_sample(self) -> "dict[str, float]":
+        """The counters as one flat numeric sample
+        (:class:`~repro.runtime.StatsSource` protocol)."""
+        return {
+            "screened": float(self.screened),
+            "verified": float(self.verified),
+            "verify_fraction": float(self.verify_fraction()),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ScreenStats(screened={self.screened}, verified={self.verified}, "

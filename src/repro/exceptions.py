@@ -103,9 +103,37 @@ class ControlError(ReproError):
     """
 
 
+class ComponentError(ReproError):
+    """Raised for runtime-framework misuse (:mod:`repro.runtime`).
+
+    Examples: a malformed ``<kind>/<name>`` spec string, an unknown registry
+    kind, adding a component to an already-started composition root, or
+    starting a generic component twice.  Components with their own taxonomy
+    branch (service, observability, control) override the error types the
+    shared lifecycle raises, so this class surfaces only from the framework
+    itself.
+    """
+
+
 class ServiceClosedError(ServiceError):
     """Raised when a query is submitted to (or aborted by) a closed service.
 
     Submitters blocked in ``submit`` when the service shuts down without
     draining receive this exception through their pending future.
     """
+
+
+class ComponentClosedError(ComponentError):
+    """Raised when a closed generic runtime component is used again."""
+
+
+class ObservabilityClosedError(ObservabilityError):
+    """Raised when a stopped metrics hub is asked to collect or restart.
+
+    The unified component lifecycle is terminal: a hub that has been
+    stopped keeps its counters readable but no longer samples.
+    """
+
+
+class ControlClosedError(ControlError):
+    """Raised when a stopped controller receives a record to actuate on."""

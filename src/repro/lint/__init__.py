@@ -28,6 +28,10 @@ RL008   float32 containment   the precision tier's exact-by-construction
                               guarantee
 RL009   env-var registry      every knob declared in :mod:`repro.env`,
                               hence enumerable
+RL010   one runtime           registries and lifecycles build on
+                              :mod:`repro.runtime` — no raw ``ContextVar``
+                              construction, no ad-hoc ``start``/``stop``
+                              pair outside ``runtime/``
 ======  ====================  =============================================
 
 Run it as ``python -m repro.lint [paths]`` (exit 0 = clean; ``--json`` for

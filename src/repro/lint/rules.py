@@ -1,4 +1,4 @@
-"""The project rules: nine machine-checked invariants of this codebase.
+"""The project rules: ten machine-checked invariants of this codebase.
 
 Each rule encodes a contract some subsystem's correctness depends on; the
 table below (mirrored in the README and :mod:`repro.lint`) names the
@@ -23,6 +23,9 @@ RL006    No global-state ``numpy.random`` calls; pass a ``Generator``.
 RL007    No mutable default arguments.
 RL008    float32 state stays inside the precision tier.
 RL009    ``os.environ`` is read only by :mod:`repro.env`.
+RL010    Registries and lifecycles build on :mod:`repro.runtime` — no
+         raw ``ContextVar`` construction and no hand-rolled
+         ``start``/``stop`` pair outside ``runtime/``.
 =======  ==============================================================
 """
 
@@ -699,6 +702,70 @@ class EnvRegistryRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# RL010 — one runtime
+# ---------------------------------------------------------------------------
+
+
+class UnifiedRuntimeRule(Rule):
+    """RL010: registries and lifecycles build on ``repro.runtime``, not ad hoc.
+
+    The runtime unification collapsed two hand-rolled ContextVar
+    registries and half a dozen start/stop state machines into
+    :mod:`repro.runtime`.  This rule keeps them collapsed: outside
+    ``runtime/``, constructing a raw ``ContextVar`` (the seed of an ad-hoc
+    selection registry) or defining a class with its own ``start``/``stop``
+    pair (the seed of an ad-hoc lifecycle) re-grows exactly the machinery
+    that was unified.  ``contextvars.copy_context()`` — how the service
+    tier ships selections to executor threads — is not a construction and
+    stays allowed.
+    """
+
+    rule_id = "RL010"
+    title = "one runtime"
+    contract = (
+        "outside runtime/, no raw contextvars.ContextVar construction "
+        "(instantiate a repro.runtime.Registry) and no class defining both "
+        "start() and stop() (subclass repro.runtime.Component and implement "
+        "_do_start/_do_stop)"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return not relpath.startswith("runtime/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        table = _import_table(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                if dotted is None:
+                    continue
+                resolved = _resolve(table, dotted)
+                if resolved == "contextvars.ContextVar" or resolved.endswith(
+                    ".contextvars.ContextVar"
+                ):
+                    yield self.finding(
+                        node,
+                        "raw ContextVar construction outside runtime/ is an "
+                        "ad-hoc selection registry; instantiate "
+                        "repro.runtime.Registry instead",
+                    )
+            elif isinstance(node, ast.ClassDef):
+                methods = {
+                    member.name
+                    for member in node.body
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                if "start" in methods and "stop" in methods:
+                    yield self.finding(
+                        node,
+                        f"class {node.name!r} defines its own start/stop pair "
+                        f"outside runtime/; subclass repro.runtime.Component "
+                        f"and implement _do_start/_do_stop so the lifecycle "
+                        f"guards stay uniform",
+                    )
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -712,6 +779,7 @@ ALL_RULE_CLASSES: Tuple[type, ...] = (
     MutableDefaultRule,
     Float32ContainmentRule,
     EnvRegistryRule,
+    UnifiedRuntimeRule,
 )
 
 

@@ -3,9 +3,10 @@
 The hub (:class:`MetricsHub`) periodically samples registered *sources*
 (zero-argument callables returning ``{metric: float}``) into immutable
 :class:`MetricsRecord` snapshots and fans each one out to registered
-*sinks* (anything with ``emit(record)``).  Source adapters over the stock
-stats objects live in :mod:`repro.obs.sources`; ring-buffer, JSONL and log
-sinks in :mod:`repro.obs.sinks`.  The closed-loop controllers of
+*sinks* (anything with ``emit(record)``).  The generic
+:func:`stats_source` adapter (and its historical per-type wrappers) lives
+in :mod:`repro.obs.sources`; ring-buffer, JSONL and log sinks in
+:mod:`repro.obs.sinks`.  The closed-loop controllers of
 :mod:`repro.control` consume records through the same sink protocol.
 """
 
@@ -17,6 +18,7 @@ from .sources import (
     query_service_source,
     screen_stats_source,
     service_stats_source,
+    stats_source,
 )
 
 __all__ = [
@@ -31,4 +33,5 @@ __all__ = [
     "query_service_source",
     "screen_stats_source",
     "service_stats_source",
+    "stats_source",
 ]

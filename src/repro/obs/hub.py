@@ -18,7 +18,16 @@ The hub runs in either of two modes:
   ticker task that collects every ``interval`` seconds until
   ``await hub.stop()``, which drains one final record through the sinks (so
   the tail of a run is never lost) and flushes any sink exposing
-  ``flush()``.  The hub is restartable after ``stop()``.
+  ``flush()``.
+
+The hub is a :class:`~repro.runtime.Component`, so its lifecycle is the
+unified one: started at most once, ``stop()`` is final (a stopped hub is
+never restarted — build a fresh one), and collecting through a closed hub
+raises :class:`~repro.exceptions.ObservabilityClosedError`.  Registration
+methods (``add_source`` / ``remove_source`` / ``add_sink`` /
+``remove_sink``) stay usable in every state: services withdraw their
+sources from a shared hub during their own teardown, which may run after
+the hub has stopped.
 
 The periodic task splits each tick in two.  Source *sampling* runs inline
 on the event loop: the stock sources read loop-owned state (the batcher's
@@ -42,7 +51,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..env import METRICS_INTERVAL, read_float_knob
-from ..exceptions import ObservabilityError
+from ..exceptions import ObservabilityClosedError, ObservabilityError
+from ..runtime.component import Component
 
 __all__ = ["MetricSource", "MetricsHub", "MetricsRecord"]
 
@@ -77,7 +87,7 @@ class MetricsRecord:
             ) from None
 
 
-class MetricsHub:
+class MetricsHub(Component):
     """Collects registered sources into records and fans them to sinks.
 
     Args:
@@ -85,6 +95,9 @@ class MetricsHub:
             ``REPRO_METRICS_INTERVAL`` knob (0.25 s).  Only used by the
             periodic task — pull-mode ``collect()`` ignores it.
     """
+
+    lifecycle_error = ObservabilityError
+    closed_error = ObservabilityClosedError
 
     def __init__(self, interval: Optional[float] = None):
         if interval is None:
@@ -103,7 +116,6 @@ class MetricsHub:
         self._sink_errors = 0
         self._task: Optional["asyncio.Task[None]"] = None
         self._wake: Optional[asyncio.Event] = None
-        self._stopping = False
 
     # -- registration ----------------------------------------------------
     def add_source(self, name: str, source: MetricSource) -> None:
@@ -167,7 +179,10 @@ class MetricsHub:
         and fans out on the executor — see the module docstring.)  Failing
         sources are omitted from the record, failing sinks skipped — each
         failure bumps the matching error counter instead of propagating.
+        Raises :class:`~repro.exceptions.ObservabilityClosedError` once
+        the hub has stopped (the final record is teardown's last word).
         """
+        self._ensure_open()
         record = self._sample()
         self._fan_out(record)
         return record
@@ -208,26 +223,27 @@ class MetricsHub:
             with self._lock:
                 self._sink_errors += sink_errors
 
-    # -- periodic mode ---------------------------------------------------
-    async def start(self) -> None:
+    # -- periodic mode (the Component lifecycle) -------------------------
+    async def _do_start(self) -> None:
         """Spawn the periodic collector task on the running event loop."""
-        if self._task is not None:
-            raise ObservabilityError("the metrics hub is already running")
-        self._stopping = False
         self._wake = asyncio.Event()
         self._task = asyncio.get_running_loop().create_task(self._run())
 
-    async def stop(self) -> Optional[MetricsRecord]:
+    async def _do_stop(self, drain: bool) -> Optional[MetricsRecord]:
         """Stop the ticker, drain one final record, flush flushable sinks.
 
-        Returns the final record (``None`` when the hub was not running).
-        Safe to call after the task died or was cancelled externally; the
-        hub may be :meth:`start`-ed again afterwards.
+        :meth:`stop` returns the final record (``None`` when the hub never
+        ran periodically — stopping a pull-mode hub just seals it).  The
+        final record is collected even on an aborting stop: it is cheap,
+        and losing the tail of a run is exactly what the drain exists to
+        prevent.  Safe to call after the task died or was cancelled
+        externally; a stopped hub stays stopped — build a fresh one.
         """
         task, wake = self._task, self._wake
         if task is None:
             return None
-        self._stopping = True
+        # The Component state is already "stopping", which is what _run's
+        # loop condition watches; the wake event just ends the tick sleep.
         if wake is not None:
             wake.set()
         try:
@@ -238,26 +254,21 @@ class MetricsHub:
         finally:
             self._task = None
             self._wake = None
-            self._stopping = False
         record = self._sample()
         await asyncio.get_running_loop().run_in_executor(
             None, self._finish, record
         )
         return record
 
-    @property
-    def running(self) -> bool:
-        return self._task is not None
-
     async def _run(self) -> None:
         loop = asyncio.get_running_loop()
         wake = self._wake
-        while not self._stopping:
+        while not self.closed:
             try:
                 await asyncio.wait_for(wake.wait(), timeout=self.interval)
             except asyncio.TimeoutError:
                 pass
-            if self._stopping:
+            if self.closed:
                 break
             wake.clear()
             record = self._sample()

@@ -1,12 +1,31 @@
-"""Source adapters over the stock stats objects of the serving stack.
+"""The one source adapter over every stats-bearing object in the stack.
 
-Each factory wraps one stats-bearing object in a zero-argument callable
-returning a flat ``{metric_name: float}`` mapping — the
+:func:`stats_source` wraps any stats-bearing subject in a zero-argument
+callable returning a flat ``{metric_name: float}`` mapping — the
 :data:`~repro.obs.hub.MetricSource` shape :class:`~repro.obs.hub.MetricsHub`
-collects.  The adapters duck-type their subjects (anything with the same
-``snapshot()`` / ``stats()`` / counter surface works), so this module never
-imports the service, raster or engine layers and cannot create an import
-cycle with them.
+collects.  One probe order covers every stock object:
+
+1. a ``metrics_sample()`` method — the
+   :class:`~repro.runtime.StatsSource` protocol; every first-party
+   stats object (:class:`~repro.service.ServiceStats`, the batcher's
+   gauges, :class:`~repro.raster.TileCache`, the mixed-precision screen
+   counters) implements it, so this is the common path;
+2. else the first of ``stats_snapshot()`` / ``snapshot()`` / ``stats()``
+   is called and its result flattened — the duck-typed escape hatch that
+   keeps third-party and test fakes working without implementing the
+   protocol;
+3. else the subject's own public numeric attributes are flattened.
+
+After flattening, well-known derived quantities (``requests``,
+``hit_rate``, ``verify_fraction``) found on the snapshot as properties or
+zero-argument methods are added — dataclass flattening only sees fields,
+and the control tuners key off exactly these rates.
+
+The subject is duck-typed throughout, so this module never imports the
+service, raster or engine layers and cannot create an import cycle with
+them.  The historical per-type factories remain as thin wrappers over
+:func:`stats_source` (plus, for :func:`query_service_source`, the live
+batcher gauges for subjects predating the protocol).
 
 Counter-valued metrics (submitted, hits, evictions, …) are cumulative; a
 consumer wanting per-interval rates takes deltas between consecutive
@@ -24,7 +43,16 @@ __all__ = [
     "query_service_source",
     "screen_stats_source",
     "service_stats_source",
+    "stats_source",
 ]
+
+#: Snapshot methods probed, most specific first, when the subject does not
+#: implement ``metrics_sample`` itself.
+_SNAPSHOT_METHODS = ("stats_snapshot", "snapshot", "stats")
+
+#: Derived quantities added when the snapshot exposes them as properties
+#: or zero-argument methods (dataclass flattening only sees fields).
+_DERIVED = ("requests", "hit_rate", "verify_fraction")
 
 
 def _flatten(snapshot: object) -> Dict[str, float]:
@@ -48,13 +76,49 @@ def _flatten(snapshot: object) -> Dict[str, float]:
     return flat
 
 
+def stats_source(subject: object) -> Callable[[], Dict[str, float]]:
+    """Adapt any stats-bearing ``subject`` into a hub source.
+
+    See the module docstring for the probe order.  The subject is probed
+    afresh on every sample, so the callable always reflects the subject's
+    live state.
+    """
+
+    def sample() -> Dict[str, float]:
+        sampler = getattr(subject, "metrics_sample", None)
+        if callable(sampler):
+            return {
+                str(name): float(value)
+                for name, value in dict(sampler()).items()
+            }
+        snapshot = subject
+        for method_name in _SNAPSHOT_METHODS:
+            method = getattr(subject, method_name, None)
+            if callable(method):
+                snapshot = method()
+                break
+        flat = _flatten(snapshot)
+        for name in _DERIVED:
+            if name in flat:
+                continue
+            value = getattr(snapshot, name, None)
+            if callable(value):
+                try:
+                    value = value()
+                except TypeError:
+                    continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            flat[name] = float(value)
+        return flat
+
+    return sample
+
+
 def service_stats_source(stats: object) -> Callable[[], Dict[str, float]]:
     """Adapter over a :class:`repro.service.ServiceStats` (or any object
     whose ``snapshot()`` returns a numeric dataclass)."""
-    def sample() -> Dict[str, float]:
-        return _flatten(stats.snapshot())
-
-    return sample
+    return stats_source(stats)
 
 
 def query_service_source(service: object) -> Callable[[], Dict[str, float]]:
@@ -63,22 +127,31 @@ def query_service_source(service: object) -> Callable[[], Dict[str, float]]:
     The service snapshot's percentile/counter fields plus the live batcher
     gauges the controllers key off: ``queue_depth`` (unsealed entries),
     ``inflight_batches`` (sealed batches still executing — the congestion
-    signal) and the current ``latency_budget``.
+    signal) and the current ``latency_budget``.  The service's own
+    ``metrics_sample`` already includes the gauges; the fallback below
+    keeps subjects predating the protocol (a ``stats_snapshot()`` plus a
+    ``_batcher``) reporting the same shape.
     """
+    generic = stats_source(service)
+
     def sample() -> Dict[str, float]:
-        flat = _flatten(service.stats_snapshot())
+        flat = generic()
         batcher = getattr(service, "_batcher", None)
         if batcher is not None:
-            flat["queue_depth"] = float(batcher.queue_depth)
-            flat["inflight_batches"] = float(batcher.inflight_batches)
-            flat["latency_budget"] = float(batcher.latency_budget)
+            flat.setdefault("queue_depth", float(batcher.queue_depth))
+            flat.setdefault("inflight_batches", float(batcher.inflight_batches))
+            flat.setdefault("latency_budget", float(batcher.latency_budget))
         return flat
 
     return sample
 
 
 def batcher_depth_source(batcher: object) -> Callable[[], Dict[str, float]]:
-    """Adapter over a bare :class:`repro.service.MicroBatcher`'s gauges."""
+    """Adapter over a bare :class:`repro.service.MicroBatcher`'s gauges.
+
+    Kept as an explicit three-gauge projection (not a generic probe): the
+    contract is exactly these keys, whatever else the subject grows.
+    """
     def sample() -> Dict[str, float]:
         return {
             "queue_depth": float(batcher.queue_depth),
@@ -93,23 +166,9 @@ def cache_stats_source(cache: object) -> Callable[[], Dict[str, float]]:
     """Adapter over a :class:`repro.raster.TileCache` (or anything whose
     ``stats()`` returns a :class:`~repro.raster.cache.CacheStats`-shaped
     snapshot), including the derived ``requests`` / ``hit_rate``."""
-    def sample() -> Dict[str, float]:
-        stats = cache.stats()
-        flat = _flatten(stats)
-        flat["requests"] = float(stats.requests)
-        flat["hit_rate"] = float(stats.hit_rate)
-        return flat
-
-    return sample
+    return stats_source(cache)
 
 
 def screen_stats_source(stats: object) -> Callable[[], Dict[str, float]]:
     """Adapter over a mixed-precision :class:`repro.engine.ScreenStats`."""
-    def sample() -> Dict[str, float]:
-        return {
-            "screened": float(stats.screened),
-            "verified": float(stats.verified),
-            "verify_fraction": float(stats.verify_fraction()),
-        }
-
-    return sample
+    return stats_source(stats)

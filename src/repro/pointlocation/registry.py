@@ -33,18 +33,25 @@ Composed names: ``"sharded:<inner>"`` resolves to a factory that builds a
 locator per shard, so e.g. ``get_locator("sharded:theorem3")`` works anywhere
 a plain name does.  The registered locator matrix lives in the package
 docstring (:mod:`repro.pointlocation`).
+
+Since the runtime unification, the registry machinery is one
+:class:`repro.runtime.Registry` instantiation (:data:`LOCATORS`, kind
+``"locator"``, with the composed-name hook enabled): this module
+contributes the protocols and the composition semantics, keeps the
+historical function surface as thin delegates, and a selection can cross a
+process boundary as the spec string ``"locator/<name>"`` — composed
+spellings included (``"locator/sharded:voronoi"``).
 """
 
 from __future__ import annotations
 
-import threading
-from contextvars import ContextVar, Token
-from typing import TYPE_CHECKING, Dict, Protocol, Union, runtime_checkable
+from typing import TYPE_CHECKING, Dict, Protocol, cast, runtime_checkable
 
 import numpy as np
 
 from ..exceptions import PointLocationError
 from ..geometry.point import Point
+from ..runtime.registry import Registry, Selection
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..model.network import WirelessNetwork
@@ -52,6 +59,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = [
     "Locator",
     "LocatorFactory",
+    "LOCATORS",
     "register_locator",
     "available_locators",
     "get_locator",
@@ -91,21 +99,6 @@ class LocatorFactory(Protocol):
     def build(self, network: "WirelessNetwork", **options: object) -> Locator: ...
 
 
-_LOCATORS: Dict[str, LocatorFactory] = {}
-_registry_lock = threading.Lock()
-
-#: The active *selection* for harnesses that want a context-default locator:
-#: a name stays a name and is re-resolved on every :func:`active_locator`
-#: call (so re-registration under an active name takes effect immediately),
-#: mirroring the engine backend registry.
-_selection: ContextVar[Union[str, LocatorFactory]] = ContextVar(
-    "repro_pointlocation_locator", default="voronoi"
-)
-
-#: Separator of composed locator names (``sharded:<inner>``).
-_COMPOSE_SEPARATOR = ":"
-
-
 class _ComposedFactory:
     """Factory for a composed name: binds the inner locator name as an option.
 
@@ -126,6 +119,31 @@ class _ComposedFactory:
         return f"_ComposedFactory({self._outer!r}, inner={self._inner_name!r})"
 
 
+class _LocatorSelection(Selection[LocatorFactory]):
+    """Result of :func:`use_locator`: effective immediately, optional context manager."""
+
+    @property
+    def factory(self) -> LocatorFactory:
+        return self.value
+
+
+#: The locator registry — a :class:`repro.runtime.Registry` instantiation
+#: with the composed-name hook enabled: ``"sharded:<inner>"`` resolves to a
+#: :class:`_ComposedFactory` without ever being registered.  The ContextVar
+#: selection defaults to ``"voronoi"`` and ``LOCATORS.to_spec(name)``
+#: renders a portable ``"locator/<name>"`` spec.
+LOCATORS: Registry[LocatorFactory] = Registry(
+    "locator",
+    label="locator",
+    default="voronoi",
+    error=PointLocationError,
+    compose=_ComposedFactory,
+    compose_example="sharded:voronoi",
+    unknown_hint=" (plus 'sharded:<inner>' compositions)",
+    selection_type=_LocatorSelection,
+)
+
+
 def register_locator(name: str, factory: LocatorFactory) -> None:
     """Register ``factory`` under ``name`` (overwriting any previous one).
 
@@ -133,24 +151,19 @@ def register_locator(name: str, factory: LocatorFactory) -> None:
     directly — the ``sharded:`` prefix is resolved dynamically so that every
     registered inner locator is immediately sweepable through it.
     """
-    if _COMPOSE_SEPARATOR in name:
-        raise PointLocationError(
-            f"locator names must not contain {_COMPOSE_SEPARATOR!r}; "
-            f"composed names like 'sharded:voronoi' are derived, not registered"
-        )
-    with _registry_lock:
-        _LOCATORS[name] = factory
+    LOCATORS.register(name, factory)
 
 
 def available_locators() -> Dict[str, LocatorFactory]:
     """Name -> factory mapping of everything registered (a snapshot copy).
 
-    Only base names are listed; every name that supports inner composition
-    (currently ``"sharded"``) additionally accepts the ``sharded:<inner>``
-    spelling through :func:`get_locator`.
+    Sorted by name, so iteration order is deterministic across runs and
+    interpreters regardless of registration order.  Only base names are
+    listed; every name that supports inner composition (currently
+    ``"sharded"``) additionally accepts the ``sharded:<inner>`` spelling
+    through :func:`get_locator`.
     """
-    with _registry_lock:
-        return dict(_LOCATORS)
+    return LOCATORS.snapshot()
 
 
 def get_locator(name: "str | LocatorFactory | None" = None) -> LocatorFactory:
@@ -162,23 +175,7 @@ def get_locator(name: "str | LocatorFactory | None" = None) -> LocatorFactory:
     remainder must itself resolve.  Anything that is not ``None`` or a string
     is returned as-is (an explicitly constructed factory).
     """
-    if name is None:
-        return active_locator()
-    if isinstance(name, str):
-        base, separator, inner = name.partition(_COMPOSE_SEPARATOR)
-        # Lock-free read: dict lookups are atomic under the GIL; the lock
-        # only serialises writers (same policy as the engine registry).
-        factory = _LOCATORS.get(base)
-        if factory is None:
-            raise PointLocationError(
-                f"unknown locator {base!r}; available: {sorted(_LOCATORS)} "
-                f"(plus 'sharded:<inner>' compositions)"
-            )
-        if separator:
-            get_locator(inner)  # validate the inner name eagerly
-            return _ComposedFactory(factory, inner)
-        return factory
-    return name
+    return LOCATORS.get(name)
 
 
 def build_locator(
@@ -205,34 +202,7 @@ def active_locator() -> LocatorFactory:
     ``"voronoi"`` — the exact ``O(n)``-per-query baseline — where none was
     made).
     """
-    selected = _selection.get()
-    if isinstance(selected, str):
-        return get_locator(selected)
-    return selected
-
-
-class _LocatorSelection:
-    """Result of :func:`use_locator`: effective immediately, optional context manager."""
-
-    def __init__(
-        self,
-        token: "Token[Union[str, LocatorFactory]] | None",
-        selected: "str | LocatorFactory",
-    ) -> None:
-        self._token = token
-        self._selected = selected
-
-    @property
-    def factory(self) -> LocatorFactory:
-        return get_locator(self._selected)
-
-    def __enter__(self) -> LocatorFactory:
-        return self.factory
-
-    def __exit__(self, *exc_info: object) -> None:
-        if self._token is not None:
-            _selection.reset(self._token)
-            self._token = None
+    return LOCATORS.active()
 
 
 def use_locator(name: "str | LocatorFactory") -> _LocatorSelection:
@@ -242,6 +212,4 @@ def use_locator(name: "str | LocatorFactory") -> _LocatorSelection:
     context manager the previous selection is restored on exit, also when an
     exception escapes the block, and nested selections unwind in order.
     """
-    get_locator(name)  # resolve eagerly so an unknown name raises here
-    token = _selection.set(name)
-    return _LocatorSelection(token, name)
+    return cast(_LocatorSelection, LOCATORS.use(name))

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..exceptions import RasterCacheError
@@ -310,6 +310,19 @@ class TileCache:
                 stored_bytes=self._bytes,
                 max_bytes=self.max_bytes,
             )
+
+    def metrics_sample(self) -> Dict[str, float]:
+        """The counters as one flat numeric sample, derived rates included.
+
+        The :class:`~repro.runtime.StatsSource` protocol: every
+        :class:`CacheStats` field as a float, plus the derived
+        ``requests`` / ``hit_rate`` the budget tuners key off.
+        """
+        stats = self.stats()
+        sample = {name: float(value) for name, value in asdict(stats).items()}
+        sample["requests"] = float(stats.requests)
+        sample["hit_rate"] = float(stats.hit_rate)
+        return sample
 
     def clear(self) -> None:
         """Drop every resident tile (counters other than bytes/tiles remain)."""

@@ -53,6 +53,7 @@ from typing import Callable, Deque, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import ServiceClosedError, ServiceError
+from ..runtime.component import Component
 from .stats import ServiceStats
 
 __all__ = [
@@ -94,8 +95,13 @@ def _point_coordinates(point) -> Tuple[float, float]:
     return float(x), float(y)
 
 
-class MicroBatcher:
+class MicroBatcher(Component):
     """Accumulate async point queries and answer them in vectorised batches.
+
+    A :class:`~repro.runtime.Component`: ``start()`` exactly once,
+    ``stop(drain=...)`` idempotent and final, usable as an async context
+    manager; lifecycle misuse raises :class:`ServiceError` and use after
+    close raises :class:`ServiceClosedError`.
 
     Args:
         locate: the batch answer function — ``locate(points)`` takes an
@@ -151,22 +157,17 @@ class MicroBatcher:
         self._inflight: set = set()
         self._executor: Optional[ThreadPoolExecutor] = None
         self._context: Optional[contextvars.Context] = None
-        self._closing = False
-        self._stopped = False
 
     # -- lifecycle -------------------------------------------------------
-    @property
-    def running(self) -> bool:
-        return self._dispatcher is not None and not self._closing
+    lifecycle_error = ServiceError
+    closed_error = ServiceClosedError
 
-    async def start(self) -> None:
+    async def _do_start(self) -> None:
         """Bind to the running event loop and start the dispatcher task.
 
         Captures the current :mod:`contextvars` context, so engine backend /
         locator selections active *now* govern every dispatched batch.
         """
-        if self._dispatcher is not None or self._stopped:
-            raise ServiceError("a MicroBatcher can be started exactly once")
         self._loop = asyncio.get_running_loop()
         self._capacity = asyncio.Semaphore(self.max_pending)
         self._wake = asyncio.Event()
@@ -180,7 +181,7 @@ class MicroBatcher:
             self._dispatch_loop(), name="repro-service-batcher"
         )
 
-    async def stop(self, drain: bool = True) -> None:
+    async def _do_stop(self, drain: bool) -> None:
         """Shut down; ``drain=True`` answers everything pending first.
 
         Draining seals all queued queries immediately (the latency budget no
@@ -191,9 +192,7 @@ class MicroBatcher:
         cannot be restarted.
         """
         if self._dispatcher is None:
-            self._stopped = True
             return
-        self._closing = True
         self._wake.set()
         if drain:
             await self._dispatcher
@@ -221,7 +220,6 @@ class MicroBatcher:
             self._executor.shutdown(wait=drain, cancel_futures=not drain)
             self._executor = None
         self._dispatcher = None
-        self._stopped = True
 
     # -- runtime retuning ------------------------------------------------
     @property
@@ -239,6 +237,14 @@ class MicroBatcher:
         """
         return len(self._inflight)
 
+    def metrics_sample(self) -> "dict[str, float]":
+        """The live gauges, as one :class:`~repro.runtime.StatsSource` sample."""
+        return {
+            "queue_depth": float(self.queue_depth),
+            "inflight_batches": float(self.inflight_batches),
+            "latency_budget": float(self.latency_budget),
+        }
+
     def set_latency_budget(self, budget: float) -> None:
         """Retune the accumulation window at runtime, from any thread.
 
@@ -253,7 +259,7 @@ class MicroBatcher:
             raise ServiceError("latency_budget must be >= 0")
         self.latency_budget = float(budget)
         loop, wake = self._loop, self._wake
-        if loop is not None and wake is not None and not self._stopped:
+        if loop is not None and wake is not None and not self.closed:
             try:
                 loop.call_soon_threadsafe(wake.set)
             except RuntimeError:  # loop already closed; nothing left to re-arm
@@ -298,11 +304,11 @@ class MicroBatcher:
         including when shutdown begins while this call is waiting.
         """
         x, y = _point_coordinates(point)
-        if self._dispatcher is None or self._closing:
+        if not self.running:
             raise ServiceClosedError("the query service is not accepting queries")
         await self._capacity.acquire()
         try:
-            if self._closing:
+            if self.closed:
                 raise ServiceClosedError(
                     "the query service closed while this query waited for capacity"
                 )
@@ -331,11 +337,11 @@ class MicroBatcher:
             # and the wait is never missed (no await separates clear/check).
             self._wake.clear()
             if not self._queue:
-                if self._closing:
+                if self.closed:
                     return
                 await self._wake.wait()
                 continue
-            while not self._closing and len(self._queue) < self.max_batch_size:
+            while not self.closed and len(self._queue) < self.max_batch_size:
                 # Re-read the budget every wake: set_latency_budget may have
                 # retuned it (adaptive control), and the new window must
                 # govern the batch currently accumulating.

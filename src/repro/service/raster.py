@@ -25,16 +25,26 @@ import weakref
 from functools import partial
 from typing import Callable, Optional
 
-from ..exceptions import ServiceError
+from ..exceptions import ServiceClosedError, ServiceError
 from ..model.diagram import RasterDiagram, SINRDiagram
 from ..raster import CacheStats, TileCache, invalidate_for_delta
 from ..raster.cache import DEFAULT_MAX_BYTES, DEFAULT_TILE_SIZE
+from ..runtime.component import Component
+from ..runtime.epoch import EpochCoordinator
 
 __all__ = ["RasterService"]
 
 
-class RasterService:
+class RasterService(Component):
     """Cached rasterisation of one network for concurrent async clients.
+
+    A :class:`~repro.runtime.Component` with a *passive* startup: the
+    service answers requests straight from construction (it owns no tasks),
+    so ``start()`` is optional and exists for uniform composition — a
+    :class:`~repro.runtime.Runtime` can boot and retire it like any other
+    component.  ``stop()`` is final: it withdraws the service's metrics
+    wiring and further requests raise
+    :class:`~repro.exceptions.ServiceClosedError`.
 
     Args:
         network: the :class:`~repro.model.network.WirelessNetwork` served.
@@ -96,7 +106,7 @@ class RasterService:
         # Captured once so every executor-thread rasterisation sees the
         # engine-backend selection active when the service was built.
         self._context = contextvars.copy_context()
-        self._swap_in_progress = False
+        self._epoch = EpochCoordinator()
         if controller is not None and metrics is None:
             raise ServiceError(
                 "a RasterService controller needs a metrics hub to feed it "
@@ -118,10 +128,19 @@ class RasterService:
                 if hasattr(controller, "source"):
                     controller.source = name
                 if callable(getattr(controller, "set_gate", None)):
-                    controller.set_gate(lambda: self._swap_in_progress)
+                    controller.set_gate(self._epoch.gate())
                 if callable(getattr(controller, "bind", None)):
                     controller.bind(self.cache)
                 metrics.add_sink(controller)
+
+    # -- lifecycle -------------------------------------------------------
+    lifecycle_error = ServiceError
+    closed_error = ServiceClosedError
+
+    async def _do_stop(self, drain: bool) -> None:
+        # Nothing runs in the background; stopping just withdraws the
+        # metrics wiring and closes the request surface.
+        self.detach_metrics()
 
     def detach_metrics(self) -> None:
         """Withdraw this service's source (and controller sink) from the hub.
@@ -158,6 +177,7 @@ class RasterService:
         resolution)`` on the same box; concurrent requests share tile
         computation through the cache's single-flight path.
         """
+        self._ensure_open()
         # Context.run cannot be entered concurrently from two threads, so
         # each request runs a fresh copy of the captured context (the same
         # convention as the MicroBatcher's dispatch workers).
@@ -177,6 +197,7 @@ class RasterService:
         """The diagram's :meth:`~repro.model.diagram.SINRDiagram.summary`,
         with its raster served from the tile cache (and counted against
         the same ``max_concurrency`` bound as :meth:`rasterize`)."""
+        self._ensure_open()
         call = partial(
             self._context.copy().run,
             partial(self.diagram.summary, resolution, cache=self.cache),
@@ -200,11 +221,12 @@ class RasterService:
         executor threads hold their tiles by reference and complete against
         the network they started with.
         """
+        self._ensure_open()
         # Gate any attached controller while invalidation runs: a budget
         # decision computed against pre-swap hit rates must not evict or
-        # grow mid-invalidation.
-        self._swap_in_progress = True
-        try:
+        # grow mid-invalidation.  The coordinator's sync guard also counts
+        # the completed swap as one epoch.
+        with self._epoch.guard():
             if new_network.fingerprint != self.network.fingerprint:
                 counts = invalidate_for_delta(
                     self.cache, self.network, new_network, delta
@@ -213,16 +235,18 @@ class RasterService:
                 counts = (0, 0)
             self.network = new_network
             self.diagram = SINRDiagram(new_network)
-        finally:
-            self._swap_in_progress = False
         return counts
 
     @property
     def swap_in_progress(self) -> bool:
         """``True`` while :meth:`swap_network` invalidates and reinstalls."""
-        return self._swap_in_progress
+        return self._epoch.in_progress
 
     # -- introspection ---------------------------------------------------
     def cache_stats(self) -> CacheStats:
         """Hit/miss/eviction counters of the backing tile cache."""
         return self.cache.stats()
+
+    def metrics_sample(self) -> "dict[str, float]":
+        """The backing cache's sample (:class:`~repro.runtime.StatsSource`)."""
+        return self.cache.metrics_sample()

@@ -21,7 +21,6 @@ service with maximal concurrency, and returns the ``int64`` answers.
 from __future__ import annotations
 
 import asyncio
-import contextvars
 import functools
 from typing import (
     TYPE_CHECKING,
@@ -36,9 +35,10 @@ from typing import (
 import numpy as np
 
 from ..engine.batch import PointsLike, as_points_array
-from ..env import SERVICE_DRAIN_TIMEOUT, read_knob
-from ..exceptions import ServiceError
+from ..exceptions import ServiceClosedError, ServiceError
 from ..pointlocation.registry import Locator, build_locator
+from ..runtime.component import Component
+from ..runtime.epoch import EpochCoordinator, drain_timeout
 from .batcher import MicroBatcher
 from .stats import ServiceStats, StatsSnapshot
 
@@ -54,8 +54,13 @@ PointLike = Union["Point", Tuple[float, float], "np.ndarray"]
 __all__ = ["QueryService", "LocatorRouter", "serve_points"]
 
 
-class QueryService:
+class QueryService(Component):
     """Micro-batched async point location over one locator.
+
+    A :class:`~repro.runtime.Component`: ``start()`` exactly once,
+    ``stop(drain=...)`` idempotent and final, usable as an async context
+    manager; network swaps delegate to a per-service
+    :class:`~repro.runtime.EpochCoordinator`.
 
     Args:
         network: the :class:`~repro.model.network.WirelessNetwork` served.
@@ -121,7 +126,7 @@ class QueryService:
             self.locator_name = getattr(locator, "name", type(locator).__name__)
         self._prebuilt = not (locator is None or isinstance(locator, str))
         self._batcher = MicroBatcher(self.locator.locate_batch, **batcher_options)
-        self._swap_in_progress = False
+        self._epoch = EpochCoordinator()
         self._owns_hub = controller is not None and metrics is None
         if self._owns_hub:
             # Imported lazily: the observability layer is optional wiring,
@@ -146,24 +151,22 @@ class QueryService:
                     setattr(controller, "source", name)
                 set_gate = getattr(controller, "set_gate", None)
                 if callable(set_gate):
-                    set_gate(lambda: self._swap_in_progress)
+                    set_gate(self._epoch.gate())
                 bind = getattr(controller, "bind", None)
                 if callable(bind):
                     bind(self._batcher)
                 metrics.add_sink(controller)
 
     # -- lifecycle -------------------------------------------------------
-    @property
-    def running(self) -> bool:
-        return self._batcher.running
+    lifecycle_error = ServiceError
+    closed_error = ServiceClosedError
 
-    async def start(self) -> "QueryService":
+    async def _do_start(self) -> None:
         await self._batcher.start()
         if self._owns_hub and self.metrics is not None:
             await self.metrics.start()
-        return self
 
-    async def stop(self, drain: bool = True) -> None:
+    async def _do_stop(self, drain: bool) -> None:
         if self._owns_hub and self.metrics is not None and self.metrics.running:
             # Stop the hub while the batcher is still draining-capable: its
             # final collect records the post-traffic stats, and the gated
@@ -178,12 +181,6 @@ class QueryService:
                 self._metrics_source_name = None
             if self.controller is not None:
                 self.metrics.remove_sink(self.controller)
-
-    async def __aenter__(self) -> "QueryService":
-        return await self.start()
-
-    async def __aexit__(self, *exc_info: object) -> None:
-        await self.stop(drain=exc_info[0] is None)
 
     # -- queries ---------------------------------------------------------
     async def locate(self, point: "PointLike") -> int:
@@ -246,52 +243,58 @@ class QueryService:
 
         Returns the installed locator.  Safe to call before :meth:`start`
         (it just replaces the locator).
+
+        The gate-build-flip-record-drain choreography itself lives in this
+        service's :class:`~repro.runtime.EpochCoordinator`; attached
+        controllers are gated on its ``in_progress`` for the whole span
+        (the metrics hub keeps *collecting* throughout — only actuation
+        pauses).
         """
-        loop = asyncio.get_running_loop()
-        started = loop.time()
-        # Gate any attached controller for the whole build-flip-drain span:
-        # a control decision computed from pre-swap metrics must not actuate
-        # mid-drain (the metrics hub keeps *collecting* throughout — only
-        # actuation pauses).
-        self._swap_in_progress = True
-        try:
-            if locator is None:
-                previous = self.locator
-                context = contextvars.copy_context()
-                if hasattr(previous, "updated"):
-                    build = functools.partial(previous.updated, new_network, delta)
-                elif not self._prebuilt:
-                    build = functools.partial(
-                        build_locator, new_network, self._locator_spec,
-                        **self._build_options,
-                    )
-                else:
-                    raise ServiceError(
-                        "cannot rebuild an opaque pre-built locator for a new "
-                        "network; pass locator= to swap_network"
-                    )
-                locator = await loop.run_in_executor(None, context.run, build)
-            elif not hasattr(locator, "locate_batch"):
-                raise ServiceError(
-                    "a pre-built locator must provide locate_batch(points)"
+        build = None
+        if locator is None:
+            previous = self.locator
+            if hasattr(previous, "updated"):
+                build = functools.partial(previous.updated, new_network, delta)
+            elif not self._prebuilt:
+                build = functools.partial(
+                    build_locator, new_network, self._locator_spec,
+                    **self._build_options,
                 )
+            else:
+                raise ServiceError(
+                    "cannot rebuild an opaque pre-built locator for a new "
+                    "network; pass locator= to swap_network"
+                )
+        elif not hasattr(locator, "locate_batch"):
+            raise ServiceError(
+                "a pre-built locator must provide locate_batch(points)"
+            )
+
+        def flip(built: Optional[Locator]) -> None:
+            installed = built if built is not None else locator
+            assert installed is not None
             self.network = new_network
-            self.locator = locator
-            self._batcher.set_locate(locator.locate_batch)
-            self.stats.record_swap(loop.time() - started)
+            self.locator = installed
+            self._batcher.set_locate(installed.locate_batch)
+
+        async def drain() -> None:
             if drain_old and self.running:
-                timeout = float(read_knob(SERVICE_DRAIN_TIMEOUT, "30") or "30")
-                await self._batcher.drain_inflight(timeout=timeout)
-        finally:
-            self._swap_in_progress = False
-        return locator
+                await self._batcher.drain_inflight(timeout=drain_timeout())
+
+        built = await self._epoch.swap(
+            build=build, flip=flip, drain=drain,
+            record=self.stats.record_swap,
+        )
+        installed = built if built is not None else locator
+        assert installed is not None
+        return installed
 
     # -- introspection ---------------------------------------------------
     @property
     def swap_in_progress(self) -> bool:
         """``True`` while :meth:`swap_network` is building, flipping or
         draining — the window where attached controllers are gated."""
-        return self._swap_in_progress
+        return self._epoch.in_progress
 
     @property
     def stats(self) -> ServiceStats:
@@ -300,9 +303,27 @@ class QueryService:
     def stats_snapshot(self) -> StatsSnapshot:
         return self._batcher.stats.snapshot()
 
+    def metrics_sample(self) -> Dict[str, float]:
+        """Snapshot counters plus the live batcher gauges, as one flat sample.
 
-class LocatorRouter:
+        The :class:`~repro.runtime.StatsSource` protocol — what
+        :func:`repro.obs.query_service_source` (and therefore the metrics
+        hub) samples: the percentile/counter fields of
+        :meth:`stats_snapshot` plus ``queue_depth``, ``inflight_batches``
+        and the current ``latency_budget``.
+        """
+        sample = self.stats.metrics_sample()
+        sample.update(self._batcher.metrics_sample())
+        return sample
+
+
+class LocatorRouter(Component):
     """One micro-batching service per locator name, behind a single front.
+
+    A :class:`~repro.runtime.Component`: starting the router starts every
+    routed service; stopping stops them all (idempotent, final).  The
+    router's own :class:`~repro.runtime.EpochCoordinator` gates whole-fleet
+    swap sweeps.
 
     Args:
         network: the network every routed locator serves.
@@ -331,6 +352,7 @@ class LocatorRouter:
         if not named:
             raise ServiceError("a LocatorRouter needs at least one locator name")
         self.network = network
+        self._epoch = EpochCoordinator()
         self._services: Dict[str, QueryService] = {
             name: QueryService(
                 network, name, build_options=options, **batcher_options
@@ -339,20 +361,16 @@ class LocatorRouter:
         }
 
     # -- lifecycle -------------------------------------------------------
-    async def start(self) -> "LocatorRouter":
+    lifecycle_error = ServiceError
+    closed_error = ServiceClosedError
+
+    async def _do_start(self) -> None:
         for service in self._services.values():
             await service.start()
-        return self
 
-    async def stop(self, drain: bool = True) -> None:
+    async def _do_stop(self, drain: bool) -> None:
         for service in self._services.values():
             await service.stop(drain=drain)
-
-    async def __aenter__(self) -> "LocatorRouter":
-        return await self.start()
-
-    async def __aexit__(self, *exc_info: object) -> None:
-        await self.stop(drain=exc_info[0] is None)
 
     # -- routing ---------------------------------------------------------
     def service(self, name: str) -> QueryService:
@@ -388,13 +406,21 @@ class LocatorRouter:
         supports ``updated``).  During the sweep, already-swapped services
         answer from the new network while the rest still serve the old one —
         per-service epochs are independent by design, exactly as their
-        batchers and stats are.
+        batchers and stats are.  The sweep counts as one epoch on the
+        router's own coordinator, whose ``in_progress`` gate covers the
+        whole sweep.
         """
-        for name in self.locator_names:
-            await self._services[name].swap_network(
-                new_network, delta, drain_old=drain_old
-            )
-        self.network = new_network
+        async with self._epoch.swapping():
+            for name in self.locator_names:
+                await self._services[name].swap_network(
+                    new_network, delta, drain_old=drain_old
+                )
+            self.network = new_network
+
+    @property
+    def swap_in_progress(self) -> bool:
+        """``True`` while a whole-router swap sweep is underway."""
+        return self._epoch.in_progress
 
     def stats_snapshots(self) -> Dict[str, StatsSnapshot]:
         return {

@@ -24,8 +24,8 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Iterable, Sequence
+from dataclasses import asdict, dataclass
+from typing import Deque, Dict, Iterable, Sequence
 
 from ..exceptions import ServiceError
 
@@ -161,6 +161,18 @@ class ServiceStats:
 
     def latency_percentile(self, fraction: float) -> float:
         return _percentile(tuple(self._latencies), fraction)
+
+    def metrics_sample(self) -> Dict[str, float]:
+        """The snapshot's fields as one flat numeric sample.
+
+        The :class:`~repro.runtime.StatsSource` protocol: every field of
+        :class:`StatsSnapshot` is numeric, so the sample is the snapshot,
+        coerced to floats (``nan`` percentile fields included).
+        """
+        return {
+            name: float(value)
+            for name, value in asdict(self.snapshot()).items()
+        }
 
     def snapshot(self) -> StatsSnapshot:
         # Sort each reservoir once and take both percentiles from the

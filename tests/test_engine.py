@@ -249,7 +249,7 @@ class TestBackendSelection:
                 # A name-based selection re-resolves: no stale object.
                 assert active_backend().name == "second"
         finally:
-            backend_module._BACKENDS.pop("ephemeral", None)
+            backend_module.BACKENDS.unregister("ephemeral")
 
     def test_per_call_backend_override(self):
         network = random_network(seed=2)

@@ -415,6 +415,74 @@ class TestRL009EnvRegistry:
         assert not findings_for("RL009", clean)
 
 
+class TestRL010UnifiedRuntime:
+    def test_flags_contextvar_construction(self):
+        findings = findings_for(
+            "RL010",
+            """
+            from contextvars import ContextVar
+
+            _active = ContextVar("active", default=None)
+            """,
+        )
+        assert len(findings) == 1
+        assert "Registry" in findings[0].message
+
+    def test_flags_module_qualified_contextvar(self):
+        assert findings_for(
+            "RL010",
+            """
+            import contextvars
+
+            _sel = contextvars.ContextVar("sel")
+            """,
+        )
+
+    def test_copy_context_stays_allowed(self):
+        clean = """
+        import contextvars
+
+        def capture():
+            return contextvars.copy_context()
+        """
+        assert not findings_for("RL010", clean)
+
+    def test_flags_hand_rolled_start_stop_pair(self):
+        findings = findings_for(
+            "RL010",
+            """
+            class Widget:
+                async def start(self):
+                    self._running = True
+
+                async def stop(self):
+                    self._running = False
+            """,
+        )
+        assert len(findings) == 1
+        assert "Component" in findings[0].message
+
+    def test_single_start_or_stop_passes(self):
+        clean = """
+        class Stopwatch:
+            def stop(self) -> int:
+                return 0
+        """
+        assert not findings_for("RL010", clean)
+
+    def test_runtime_package_is_exempt(self):
+        violating = """
+        from contextvars import ContextVar
+
+        _sel = ContextVar("sel")
+
+        class Component:
+            async def start(self): ...
+            async def stop(self): ...
+        """
+        assert not findings_for("RL010", violating, path="runtime/component.py")
+
+
 class TestParseErrors:
     def test_unparseable_file_is_one_rl000_finding(self):
         findings = check_source("def broken(:\n", "somewhere/x.py")

@@ -92,8 +92,7 @@ class TestRegistry:
         finally:
             from repro.pointlocation import registry
 
-            with registry._registry_lock:
-                registry._LOCATORS.pop("custom", None)
+            registry.LOCATORS.unregister("custom")
 
     def test_use_locator_scoping_and_default(self):
         assert active_locator() is get_locator("voronoi")

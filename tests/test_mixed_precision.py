@@ -259,7 +259,7 @@ class TestLateBoundInner:
             heard_station_batch(network, points, backend=screen)
             assert second.calls > 0
         finally:
-            backend_module._BACKENDS.pop("screen-inner-test", None)
+            backend_module.BACKENDS.unregister("screen-inner-test")
 
     def test_overwriting_the_default_inner_name_applies(self):
         network, points = self._adversarial_workload()
@@ -284,7 +284,7 @@ class TestLateBoundInner:
                 heard_station_batch(network, points, backend=screen)
             assert counting.calls > 0
         finally:
-            backend_module._BACKENDS.pop("counting-inner", None)
+            backend_module.BACKENDS.unregister("counting-inner")
 
     def test_inner_none_never_verifies_through_itself(self):
         network, points = self._adversarial_workload()
@@ -294,7 +294,7 @@ class TestLateBoundInner:
             with use_backend("screen-self-test"):
                 got = heard_station_batch(network, points)
         finally:
-            backend_module._BACKENDS.pop("screen-self-test", None)
+            backend_module.BACKENDS.unregister("screen-self-test")
         np.testing.assert_array_equal(
             got, heard_station_batch(network, points, backend="numpy")
         )

@@ -19,7 +19,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.exceptions import ObservabilityError
+from repro.exceptions import ObservabilityClosedError, ObservabilityError
 from repro.obs import (
     JsonlSink,
     LogSink,
@@ -280,21 +280,26 @@ class TestPeriodicCollection:
         assert len(seen) == 1  # exactly the final drain sampled it
         assert sink.last() is final and final.source("probe") == {"n": 1.0}
 
-    def test_hub_restartable_after_stop(self):
+    def test_hub_lifecycle_is_terminal(self):
+        """A stopped hub is closed for good: no restart, no ``collect()``."""
+
         async def main():
             hub = MetricsHub(interval=0.01)
             hub.add_source("svc", lambda: {"x": 1})
             await hub.start()
             await asyncio.sleep(0.03)
-            await hub.stop()
-            first_round = hub.records
-            await hub.start()
-            await asyncio.sleep(0.03)
-            await hub.stop()
-            return first_round, hub.records
+            final = await hub.stop()
+            assert final is not None and hub.records >= 1
+            with pytest.raises(ObservabilityError, match="cannot be restarted"):
+                await hub.start()
+            with pytest.raises(ObservabilityClosedError):
+                hub.collect()
+            # Registration stays open after stop: services withdraw their
+            # sources during their own teardown, which may outlive the hub.
+            assert hub.remove_source("svc")
+            assert await hub.stop() is None  # idempotent
 
-        first_round, total = run(main())
-        assert first_round >= 1 and total > first_round
+        run(main())
 
     def test_double_start_rejected(self):
         async def main():

@@ -1,0 +1,285 @@
+"""Lifecycle conformance battery over every :class:`repro.runtime.Component`.
+
+One parametrized contract for the whole stack: every component starts at
+most once, rejects restart after stop, stops idempotently, raises its
+layer's ``*ClosedError`` when used after close, and drains cleanly as an
+async context manager.  Below the battery: the :class:`Runtime`
+composition root — declaration-order boot, reverse-order shutdown,
+automatic stats wiring into an owned hub, and startup-failure rollback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import Point
+from repro.control import Controller
+from repro.exceptions import (
+    ComponentError,
+    ControlClosedError,
+    ObservabilityClosedError,
+    ServiceClosedError,
+)
+from repro.obs import MetricsHub
+from repro.runtime import Component, Runtime
+from repro.service import LocatorRouter, MicroBatcher, QueryService
+from repro.service.raster import RasterService
+
+
+def run(coro, timeout: float = 60.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+def _zeros_locate(points) -> np.ndarray:
+    return np.zeros(len(np.asarray(points, dtype=float)), dtype=np.int64)
+
+
+class CountingController(Controller):
+    def __init__(self) -> None:
+        super().__init__()
+        self.seen = 0
+
+    def observe(self, record) -> None:
+        self.seen += 1
+
+
+def _build(name: str, network):
+    """One (component, use_op) pair per stack layer.
+
+    ``use_op`` is the layer's natural request entry point; after ``stop``
+    it must raise the component's ``closed_error``.
+    """
+    if name == "batcher":
+        component = MicroBatcher(_zeros_locate, latency_budget=0.005)
+
+        async def op(c):
+            return await c.submit((1.0, 2.0))
+
+    elif name == "query-service":
+        component = QueryService(network, "voronoi", latency_budget=0.005)
+
+        async def op(c):
+            return await c.locate((1.0, 2.0))
+
+    elif name == "raster-service":
+        component = RasterService(network, max_bytes=1 << 20)
+
+        async def op(c):
+            return await c.rasterize(Point(0.0, 0.0), Point(2.0, 2.0), resolution=8)
+
+    elif name == "router":
+        component = LocatorRouter(network, ["voronoi"], latency_budget=0.005)
+
+        async def op(c):
+            return await c.locate("voronoi", (1.0, 2.0))
+
+    elif name == "hub":
+        component = MetricsHub(interval=0.02)
+
+        async def op(c):
+            return c.collect()
+
+    elif name == "controller":
+        component = CountingController()
+
+        async def op(c):
+            c.emit(None)  # _ensure_open runs before the record is touched
+
+    else:  # pragma: no cover - parametrization mismatch
+        raise AssertionError(name)
+    return component, op
+
+
+COMPONENTS = [
+    "batcher",
+    "query-service",
+    "raster-service",
+    "router",
+    "hub",
+    "controller",
+]
+
+CLOSED_ERRORS = {
+    "batcher": ServiceClosedError,
+    "query-service": ServiceClosedError,
+    "raster-service": ServiceClosedError,
+    "router": ServiceClosedError,
+    "hub": ObservabilityClosedError,
+    "controller": ControlClosedError,
+}
+
+
+@pytest.mark.parametrize("name", COMPONENTS)
+class TestLifecycleConformance:
+    def test_double_start_raises_the_layer_error(self, name, ten_station_network):
+        async def main():
+            component, _ = _build(name, ten_station_network)
+            try:
+                await component.start()
+                assert component.running and not component.closed
+                with pytest.raises(
+                    component.lifecycle_error, match="already running"
+                ):
+                    await component.start()
+            finally:
+                await component.stop()
+
+        run(main())
+
+    def test_stop_is_idempotent_and_final(self, name, ten_station_network):
+        async def main():
+            component, _ = _build(name, ten_station_network)
+            await component.start()
+            await component.stop()
+            assert component.closed and not component.running
+            assert await component.stop() is None
+            with pytest.raises(
+                component.lifecycle_error, match="cannot be restarted"
+            ):
+                await component.start()
+
+        run(main())
+
+    def test_stop_from_new_still_seals_the_component(
+        self, name, ten_station_network
+    ):
+        async def main():
+            component, _ = _build(name, ten_station_network)
+            await component.stop()  # never started; teardown must not blow up
+            assert component.closed
+
+        run(main())
+
+    def test_use_after_close_raises_the_closed_error(
+        self, name, ten_station_network
+    ):
+        async def main():
+            component, op = _build(name, ten_station_network)
+            await component.start()
+            await component.stop()
+            with pytest.raises(CLOSED_ERRORS[name]):
+                await op(component)
+
+        run(main())
+
+    def test_async_with_starts_and_drains(self, name, ten_station_network):
+        async def main():
+            component, op = _build(name, ten_station_network)
+            async with component:
+                assert component.running
+                if name != "controller":  # emit(None) is only valid closed
+                    await op(component)
+            assert component.closed
+
+        run(main())
+
+
+class Recorder(Component):
+    """A trivial component journaling its transitions into a shared log."""
+
+    def __init__(self, tag: str, log: list, fail_start: bool = False) -> None:
+        self.tag = tag
+        self.log = log
+        self.fail_start = fail_start
+
+    async def _do_start(self) -> None:
+        if self.fail_start:
+            raise ComponentError(f"{self.tag} refuses to start")
+        self.log.append(("start", self.tag))
+
+    async def _do_stop(self, drain: bool) -> None:
+        self.log.append(("stop", self.tag, drain))
+
+
+class Sampling(Recorder):
+    def metrics_sample(self):
+        return {"ticks": 1.0}
+
+
+class TestRuntimeComposition:
+    def test_boots_in_declaration_order_and_stops_in_reverse(self):
+        async def main():
+            log: list = []
+            runtime = Runtime()
+            runtime.add("a", Recorder("a", log))
+            runtime.add("b", Recorder("b", log), after=("a",))
+            runtime.add("c", Recorder("c", log), after=("b",))
+            assert runtime.component_names() == ("a", "b", "c")
+            assert runtime.dependencies("c") == ("b",)
+            async with runtime:
+                assert [entry[1] for entry in log] == ["a", "b", "c"]
+            stops = [entry for entry in log if entry[0] == "stop"]
+            assert [entry[1] for entry in stops] == ["c", "b", "a"]
+            assert all(entry[2] for entry in stops)  # clean exit drains
+
+        run(main())
+
+    def test_owned_hub_is_created_and_wired_from_stats_sources(self):
+        async def main():
+            log: list = []
+            runtime = Runtime(metrics_interval=5.0)
+            runtime.add("sampler", Sampling("sampler", log))
+            runtime.add("mute", Recorder("mute", log))
+            assert runtime.metrics is None
+            await runtime.start()
+            try:
+                hub = runtime.metrics
+                assert isinstance(hub, MetricsHub) and hub.running
+                assert "sampler" in hub.source_names()
+                assert "mute" not in hub.source_names()
+            finally:
+                await runtime.stop()
+            assert runtime.metrics.closed  # stopped before the components
+
+        run(main())
+
+    def test_no_sources_means_no_hub(self):
+        async def main():
+            runtime = Runtime()
+            runtime.add("mute", Recorder("mute", []))
+            async with runtime:
+                assert runtime.metrics is None
+
+        run(main())
+
+    def test_startup_failure_rolls_back_started_components(self):
+        async def main():
+            log: list = []
+            runtime = Runtime()
+            runtime.add("first", Recorder("first", log))
+            runtime.add("boom", Recorder("boom", log, fail_start=True))
+            runtime.add("never", Recorder("never", log))
+            with pytest.raises(ComponentError, match="refuses to start"):
+                await runtime.start()
+            # The failed boot aborted the already-started prefix...
+            assert ("stop", "first", False) in log
+            # ...and never reached the component after the failure.
+            assert not any(entry[1] == "never" for entry in log)
+            assert not runtime.running
+
+        run(main())
+
+    def test_declaration_errors(self):
+        runtime = Runtime()
+        runtime.add("a", Recorder("a", []))
+        with pytest.raises(ComponentError, match="already declared"):
+            runtime.add("a", Recorder("a2", []))
+        with pytest.raises(ComponentError, match="undeclared"):
+            runtime.add("b", Recorder("b", []), after=("ghost",))
+        with pytest.raises(ComponentError, match="not a runtime Component"):
+            runtime.add("c", object())  # type: ignore[arg-type]
+        with pytest.raises(ComponentError, match="no component named"):
+            runtime.component("ghost")
+
+    def test_add_after_start_is_rejected(self):
+        async def main():
+            runtime = Runtime()
+            runtime.add("a", Recorder("a", []))
+            async with runtime:
+                with pytest.raises(ComponentError, match="before the runtime"):
+                    runtime.add("late", Recorder("late", []))
+
+        run(main())

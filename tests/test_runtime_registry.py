@@ -1,0 +1,168 @@
+"""Contract of the unified registry framework (:mod:`repro.runtime.registry`).
+
+The invariants under test: one :class:`Registry` implementation backs both
+the engine-backend and locator surfaces; ``available()`` (and both public
+``available_*`` call sites) is sorted, hence deterministic across runs;
+spec strings round-trip every registered name — composed locator
+spellings included — through ``to_spec`` / ``from_spec``; selections
+nest and restore with ContextVar token semantics; and the kind table
+resolves specs without the caller knowing which layer owns them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import backend as backend_module
+from repro.engine.backend import (
+    BACKENDS,
+    available_backends,
+    use_backend,
+)
+from repro.exceptions import (
+    ComponentError,
+    PointLocationError,
+    ReproError,
+)
+from repro.pointlocation import registry as locator_module
+from repro.pointlocation.registry import (
+    LOCATORS,
+    available_locators,
+    get_locator,
+)
+from repro.runtime import Registry, Selection, registry_for_kind, use_spec
+from repro.runtime.registry import SPEC_SEPARATOR
+
+
+class TestOneImplementation:
+    def test_both_surfaces_are_registry_instances(self):
+        assert isinstance(BACKENDS, Registry)
+        assert isinstance(LOCATORS, Registry)
+        assert BACKENDS.kind == "backend"
+        assert LOCATORS.kind == "locator"
+
+    def test_kind_table_resolves_both(self):
+        assert registry_for_kind("backend") is BACKENDS
+        assert registry_for_kind("locator") is LOCATORS
+
+    def test_unknown_kind_lists_known_kinds(self):
+        with pytest.raises(ComponentError, match="backend"):
+            registry_for_kind("no-such-kind")
+
+
+class TestSortedAvailability:
+    """Both public call sites return sorted names — deterministic output."""
+
+    def test_available_backends_is_sorted(self):
+        names = list(available_backends())
+        assert names == sorted(names) and "numpy" in names
+
+    def test_available_locators_is_sorted(self):
+        names = list(available_locators())
+        assert names == sorted(names) and "voronoi" in names
+
+    def test_registry_available_is_sorted_after_unsorted_insertion(self):
+        scratch = Registry("scratch-sorted")
+        for name in ("zeta", "alpha", "mid"):
+            scratch.register(name, object())
+        assert scratch.available() == ["alpha", "mid", "zeta"]
+        assert list(scratch.snapshot()) == ["alpha", "mid", "zeta"]
+
+
+class TestSpecRoundTrip:
+    def test_every_backend_round_trips(self):
+        for name in available_backends():
+            spec = BACKENDS.to_spec(name)
+            assert spec == f"backend{SPEC_SEPARATOR}{name}"
+            assert Registry.from_spec(spec) is BACKENDS.get(name)
+
+    def test_every_locator_round_trips(self):
+        for name in available_locators():
+            spec = LOCATORS.to_spec(name)
+            assert Registry.from_spec(spec) is LOCATORS.get(name)
+
+    def test_composed_locator_spec_round_trips(self):
+        spec = LOCATORS.to_spec("sharded:voronoi")
+        assert spec == "locator/sharded:voronoi"
+        factory = Registry.from_spec(spec)
+        # Composed factories are derived per resolution (never registered),
+        # so identity cannot hold; the resolved type must match instead.
+        assert type(factory) is type(get_locator("sharded:voronoi"))
+
+    def test_to_spec_renders_the_active_selection(self):
+        with BACKENDS.use("reference"):
+            assert BACKENDS.to_spec() == "backend/reference"
+
+    def test_to_spec_validates_the_name(self):
+        with pytest.raises(ReproError, match="available"):
+            BACKENDS.to_spec("no-such-backend")
+
+    def test_to_spec_rejects_object_selections(self):
+        with pytest.raises(ReproError, match="by name"):
+            BACKENDS.to_spec(object())
+
+    def test_malformed_specs_are_component_errors(self):
+        for spec in ("numpy", "backend/", "/numpy", ""):
+            with pytest.raises(ComponentError, match="malformed"):
+                Registry.resolve_spec(spec)
+
+    def test_use_spec_selects_in_context(self):
+        reference = BACKENDS.get("reference")
+        before = BACKENDS.active()
+        with use_spec("backend/reference") as selected:
+            assert selected is reference
+            assert BACKENDS.active() is reference
+        assert BACKENDS.active() is before
+
+    def test_use_spec_unknown_name_raises_the_layer_error(self):
+        with pytest.raises(PointLocationError, match="available"):
+            use_spec("locator/no-such-locator")
+
+
+class TestSelectionSemantics:
+    def test_nested_selections_unwind_in_order(self):
+        default = BACKENDS.active()
+        with use_backend("reference"):
+            assert type(BACKENDS.active()).__name__ == "ReferenceBackend"
+            with use_backend("numpy"):
+                assert type(BACKENDS.active()).__name__ == "NumpyBackend"
+            assert type(BACKENDS.active()).__name__ == "ReferenceBackend"
+        assert BACKENDS.active() is default
+
+    def test_selection_value_tracks_reregistration(self):
+        scratch = Registry("scratch-reregister", default="thing")
+        first, second = object(), object()
+        scratch.register("thing", first)
+        selection = scratch.use("thing")
+        assert selection.value is first
+        scratch.register("thing", second)
+        assert selection.value is second  # names re-resolve on access
+        assert scratch.active() is second
+        assert isinstance(selection, Selection)
+
+    def test_unregister_then_resolve_fails_with_available_list(self):
+        scratch = Registry("scratch-unregister")
+        scratch.register("gone", object())
+        assert scratch.unregister("gone")
+        assert not scratch.unregister("gone")
+        with pytest.raises(ReproError, match="available"):
+            scratch.get("gone")
+
+    def test_contains_and_default_error(self):
+        scratch = Registry("scratch-contains")
+        scratch.register("present", object())
+        assert "present" in scratch and "absent" not in scratch
+        with pytest.raises(ReproError, match="no default"):
+            scratch.active()
+
+
+class TestKindValidation:
+    def test_kind_must_not_contain_the_spec_separator(self):
+        with pytest.raises(ComponentError, match="non-empty"):
+            Registry("bad/kind")
+        with pytest.raises(ComponentError, match="non-empty"):
+            Registry("")
+
+    def test_module_aliases_point_at_the_instances(self):
+        assert backend_module.BACKENDS is BACKENDS
+        assert locator_module.LOCATORS is LOCATORS
